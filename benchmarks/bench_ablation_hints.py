@@ -1,0 +1,22 @@
+"""Ablation: programmer closure hints (paper §6 "shape" suggestions).
+
+Sparse hash retrieval with and without a hint that the access pattern
+follows only the bucket chain.
+"""
+
+from conftest import record_sim_result
+
+from repro.bench.experiments import ablation_closure_hints
+
+
+def test_ablation_closure_hints(benchmark):
+    result = benchmark.pedantic(
+        ablation_closure_hints, rounds=1, iterations=1
+    )
+    by_label = {row[0]: row for row in result.rows}
+    assert by_label["hinted"][2] < by_label["unhinted"][2]
+    for label, seconds, total_bytes, entries in result.rows:
+        record_sim_result(
+            f"ablation-hints {label:>9s}: {seconds:7.4f} s  "
+            f"bytes={total_bytes}  entries={entries}"
+        )

@@ -1,0 +1,15 @@
+"""Table 1: the data allocation table after swizzling two pointers."""
+
+from conftest import record_sim_result
+
+from repro.bench.experiments import table1_allocation_table
+
+
+def test_table1_allocation_table(benchmark):
+    result = benchmark.pedantic(
+        table1_allocation_table, rounds=1, iterations=1
+    )
+    assert len(result.rows) == 2
+    record_sim_result("")
+    for line in result.render().splitlines():
+        record_sim_result(line)

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Heterogeneity: the same logical data on three unlike machines.
+
+The system shares only the *logical type* of data — never its memory
+representation.  Here a big-endian 32-bit SPARC, a little-endian 64-bit
+x86-64 and a second 64-bit machine pass the same records around: each
+lays the struct out natively (different sizes, offsets and byte
+orders), and the canonical XDR form bridges them, pointers included.
+
+This is what heterogeneous DSM systems like Mermaid could not do — they
+required every machine to agree on alignment and record format (paper
+section 5.2).
+
+Run::
+
+    python examples/heterogeneous.py
+"""
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.rpc import ClientStub, InterfaceDef, Param, ProcedureDef, bind_server
+from repro.simnet import Network
+from repro.smartrpc import SmartRpcRuntime
+from repro.xdr import (
+    ALPHA64,
+    SPARC32,
+    X86_64,
+    Field,
+    OpaqueType,
+    PointerType,
+    StructType,
+    float64,
+    int16,
+    int32,
+)
+from repro.xdr.registry import TypeRegistry
+
+SENSOR_TYPE_ID = "sensor_sample"
+
+
+def sensor_spec() -> StructType:
+    """A struct whose layout genuinely differs across machines."""
+    return StructType(
+        SENSOR_TYPE_ID,
+        [
+            Field("sequence", int16),        # forces padding differences
+            Field("reading", float64),
+            Field("flags", int32),
+            Field("label", OpaqueType(6)),
+            Field("next", PointerType(SENSOR_TYPE_ID)),
+        ],
+    )
+
+
+def main() -> None:
+    network = Network()
+    name_server = TypeNameServer(network.add_site("NS"), TypeRegistry())
+    name_server.publish(SENSOR_TYPE_ID, sensor_spec())
+
+    machines = {}
+    for site_id, arch in (("sparc", SPARC32), ("x86", X86_64),
+                          ("alpha", ALPHA64)):
+        site = network.add_site(site_id)
+        machines[site_id] = SmartRpcRuntime(
+            network, site, arch, resolver=TypeResolver(site, "NS")
+        )
+
+    spec = sensor_spec()
+    print("native layouts of the same logical struct:")
+    for site_id, machine in machines.items():
+        layout = spec.layout(machine.arch)
+        print(
+            f"  {site_id:6s} ({machine.arch.name:8s}): "
+            f"{layout.size:2d} bytes, offsets {layout.offsets}"
+        )
+
+    # Build a two-sample chain on the SPARC.
+    sparc = machines["sparc"]
+    first = sparc.malloc(SENSOR_TYPE_ID)
+    second = sparc.malloc(SENSOR_TYPE_ID)
+    view = sparc.struct_view(first, spec)
+    view.set("sequence", 7)
+    view.set("reading", 36.6)
+    view.set("flags", 0b1010)
+    view.set("label", b"probe1")
+    view.set("next", second)
+    tail = sparc.struct_view(second, spec)
+    tail.set("sequence", 8)
+    tail.set("reading", -12.25)
+    tail.set("flags", 0)
+    tail.set("label", b"probe2")
+    tail.set("next", 0)
+
+    interface = InterfaceDef(
+        "sensors",
+        [
+            ProcedureDef(
+                "mean_reading",
+                [Param("head", PointerType(SENSOR_TYPE_ID))],
+                returns=float64,
+            )
+        ],
+    )
+
+    def mean_reading(ctx, head: int) -> float:
+        """Walks a chain whose home is another architecture."""
+        total = 0.0
+        count = 0
+        address = head
+        while address != 0:
+            sample = ctx.struct_view(
+                address, ctx.runtime.resolver.resolve(SENSOR_TYPE_ID)
+            )
+            total += sample.get("reading")
+            count += 1
+            address = sample.get("next")
+        return total / count if count else 0.0
+
+    # The x86 machine serves the procedure; the chain's home is the
+    # SPARC, so records cross byte order AND pointer width on the way.
+    bind_server(machines["x86"], interface, {"mean_reading": mean_reading})
+    stub = ClientStub(sparc, interface, "x86")
+    with sparc.session() as session:
+        mean = stub.mean_reading(session, first)
+    print(f"\nx86 computed the mean of SPARC-resident samples: {mean}")
+    assert abs(mean - (36.6 - 12.25) / 2) < 1e-9
+    print("representations converted through the canonical form: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Higher-order RPC: passing functions alongside remote pointers.
+
+The paper's conclusion names its one remaining limitation — no remote
+pointers to functions — and points at Ohori & Kato's higher-order stub
+method as the complement ("their method and the method proposed in
+this paper do not conflict").  This example shows the composition this
+library implements: a remote procedure receives *both* a pointer to
+the caller's data and a reference to a caller-side function, walks the
+data transparently, and applies the function through the same session.
+
+Run::
+
+    python examples/higher_order.py
+"""
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.rpc import ClientStub, InterfaceDef, Param, ProcedureDef, bind_server
+from repro.rpc.funcref import FuncRefType, invoke
+from repro.simnet import Network
+from repro.smartrpc import SmartRpcRuntime
+from repro.workloads.linked_list import (
+    LIST_NODE_TYPE_ID,
+    build_list,
+    list_node_spec,
+    read_list,
+)
+from repro.xdr import SPARC32, X86_64, PointerType, int32
+from repro.xdr.registry import TypeRegistry
+
+MAPPER = ProcedureDef("mapper", [Param("x", int32)], returns=int32)
+
+CALLER_FUNCS = InterfaceDef("caller_funcs", [
+    ProcedureDef("celsius_to_fahrenheit", [Param("x", int32)],
+                 returns=int32),
+    ProcedureDef("clamp_positive", [Param("x", int32)], returns=int32),
+])
+
+MAP_SERVICE = InterfaceDef("map_service", [
+    ProcedureDef(
+        "map_in_place",
+        [
+            Param("head", PointerType(LIST_NODE_TYPE_ID)),
+            Param("f", FuncRefType(MAPPER)),
+        ],
+        returns=int32,
+    ),
+])
+
+
+def map_in_place(ctx, head, f):
+    """Runs on B: maps a caller function over caller data."""
+    spec = ctx.runtime.resolver.resolve(LIST_NODE_TYPE_ID)
+    count = 0
+    address = head
+    while address != 0:
+        node = ctx.struct_view(address, spec)
+        node.set("value", invoke(ctx, f, (node.get("value"),)))
+        count += 1
+        address = node.get("next")
+    return count
+
+
+def main() -> None:
+    network = Network()
+    name_server = TypeNameServer(network.add_site("NS"), TypeRegistry())
+    name_server.publish(LIST_NODE_TYPE_ID, list_node_spec())
+    site_a, site_b = network.add_site("A"), network.add_site("B")
+    machine_a = SmartRpcRuntime(
+        network, site_a, SPARC32, resolver=TypeResolver(site_a, "NS")
+    )
+    machine_b = SmartRpcRuntime(
+        network, site_b, X86_64, resolver=TypeResolver(site_b, "NS")
+    )
+
+    bind_server(machine_a, CALLER_FUNCS, {
+        "celsius_to_fahrenheit": lambda ctx, x: x * 9 // 5 + 32,
+        "clamp_positive": lambda ctx, x: max(0, x),
+    })
+    bind_server(machine_b, MAP_SERVICE, {"map_in_place": map_in_place})
+    stub = ClientStub(machine_a, MAP_SERVICE, "B")
+
+    temperatures = build_list(machine_a, [-10, 0, 21, 100])
+    print("A's readings (deg C):", read_list(machine_a, temperatures))
+
+    with machine_a.session() as session:
+        stub.map_in_place(
+            session,
+            temperatures,
+            machine_a.func_ref(CALLER_FUNCS, "celsius_to_fahrenheit"),
+        )
+    print("after remote map with A's converter (deg F):",
+          read_list(machine_a, temperatures))
+
+    with machine_a.session() as session:
+        stub.map_in_place(
+            session,
+            temperatures,
+            machine_a.func_ref(CALLER_FUNCS, "clamp_positive"),
+        )
+    print("after remote map with A's clamp:",
+          read_list(machine_a, temperatures))
+    print()
+    print(network.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""The rpcgen pipeline: IDL file -> types + stubs -> remote calls.
+
+``examples/interfaces/inventory.x`` declares an inventory service in
+the textual IDL: an enum, two pointer-linked structs and an interface.
+This example loads it, registers the declared types with both
+machines, binds a server implementation against the parsed interface,
+and drives it through a generated stub — with pointers and enums
+crossing the wire.
+
+Run::
+
+    python examples/idl_pipeline.py
+"""
+
+import pathlib
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.rpc import ClientStub, bind_server
+from repro.rpc.idl import load_idl
+from repro.simnet import Network
+from repro.smartrpc import SmartRpcRuntime
+from repro.xdr import SPARC32, X86_64
+from repro.xdr.registry import TypeRegistry
+
+IDL_PATH = pathlib.Path(__file__).parent / "interfaces" / "inventory.x"
+
+
+def main() -> None:
+    document = load_idl(IDL_PATH)
+    item = document.struct("item")
+    shelf = document.struct("shelf")
+    status = document.enum("status")
+    interface = document.interface("inventory")
+    print(f"parsed {IDL_PATH.name}: "
+          f"{len(document.structs)} structs, "
+          f"{len(document.enums)} enums, "
+          f"{len(document.interfaces)} interfaces")
+    print(f"item is {item.sizeof(SPARC32)} bytes on sparc32, "
+          f"{item.sizeof(X86_64)} on x86_64")
+
+    network = Network()
+    TypeNameServer(network.add_site("NS"), TypeRegistry())
+    site_a, site_b = network.add_site("A"), network.add_site("B")
+    warehouse = SmartRpcRuntime(
+        network, site_a, SPARC32, resolver=TypeResolver(site_a, "NS")
+    )
+    terminal = SmartRpcRuntime(
+        network, site_b, X86_64, resolver=TypeResolver(site_b, "NS")
+    )
+    for runtime in (warehouse, terminal):
+        document.register_types(runtime.resolver)
+    warehouse.import_interface(interface)
+
+    # Build a shelf with three items in the warehouse's heap.
+    layout = item.layout(warehouse.arch)
+    shelf_address = warehouse.malloc("shelf")
+    shelf_view = warehouse.struct_view(shelf_address, shelf)
+    shelf_view.set("capacity", 100)
+    head = 0
+    for sku, count, availability, label in (
+        (1001, 4, "IN_STOCK", b"wrench      "),
+        (1002, 0, "BACK_ORDER", b"torque bar  "),
+        (1003, 9, "IN_STOCK", b"hex key set "),
+    ):
+        address = warehouse.malloc("item")
+        view = warehouse.struct_view(address, item)
+        view.set("next", head)
+        view.set("sku", sku)
+        view.set("count", count)
+        view.set("availability", availability)
+        view.set("label", label)
+        head = address
+    shelf_view.set("head", head)
+
+    # Server implementation on the terminal machine, against the
+    # parsed interface.
+    def walk(ctx, shelf_pointer):
+        view = ctx.struct_view(shelf_pointer, shelf)
+        address = view.get("head")
+        while address != 0:
+            entry = ctx.struct_view(address, item)
+            yield entry
+            address = entry.get("next")
+
+    def total_count(ctx, shelf_pointer):
+        return sum(entry.get("count") for entry in walk(ctx, shelf_pointer))
+
+    def restock(ctx, shelf_pointer, sku, amount):
+        for entry in walk(ctx, shelf_pointer):
+            if entry.get("sku") == sku:
+                entry.set("count", entry.get("count") + amount)
+                if entry.get("count") > 0:
+                    entry.set("availability", "IN_STOCK")
+                return entry.get("count")
+        return -1
+
+    def availability_of(ctx, shelf_pointer, sku):
+        for entry in walk(ctx, shelf_pointer):
+            if entry.get("sku") == sku:
+                return entry.get("availability")
+        return status.value_of("DISCONTINUED")
+
+    bind_server(terminal, interface, {
+        "total_count": total_count,
+        "restock": restock,
+        "availability_of": availability_of,
+    })
+    stub = ClientStub(warehouse, interface, "B")
+
+    with warehouse.session() as session:
+        print("total on shelf:", stub.total_count(session, shelf_address))
+        print("sku 1002 availability:",
+              stub.availability_of(session, shelf_address, 1002))
+        print("restocking sku 1002 by 6 ->",
+              stub.restock(session, shelf_address, 1002, 6))
+        print("sku 1002 availability now:",
+              stub.availability_of(session, shelf_address, 1002))
+    # After the session, the warehouse's own memory reflects the
+    # terminal's restock.
+    first_item = warehouse.struct_view(shelf_view.get("head"), item)
+    print("warehouse heap agrees: first item count =",
+          first_item.get("count"))
+
+
+if __name__ == "__main__":
+    main()

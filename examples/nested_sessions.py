@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Nested RPCs, callbacks, and the travelling modified data set.
+
+The paper's execution model allows nesting (A calls B, B calls C) and
+callbacks (the callee calls its caller back), with exactly one active
+thread per session.  The coherency protocol ships all dirty cached
+data whenever thread activity crosses address spaces, so when C reads
+data that B modified, C sees B's values even though the data's home is
+A and A has not been involved since.
+
+This example reproduces the paper's Figure 1 scenario:
+
+* a ground thread on A starts a session and calls B, passing a pointer
+  to a counter record in A's heap;
+* B increments the counter (a cached write on B), then calls C with
+  the same pointer;
+* C reads the counter — the dirty value arrived piggybacked on B's
+  call — increments it again, and calls *back* to A (a callback),
+  which reads its own original memory and reports what it sees there;
+* everything unwinds, and A's memory holds the final count.
+
+Run::
+
+    python examples/nested_sessions.py
+"""
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.rpc import ClientStub, InterfaceDef, Param, ProcedureDef, bind_server
+from repro.simnet import Network
+from repro.smartrpc import SmartRpcRuntime
+from repro.xdr import SPARC32, Field, PointerType, StructType, int32
+from repro.xdr.registry import TypeRegistry
+
+COUNTER_TYPE_ID = "counter"
+counter_spec = StructType(COUNTER_TYPE_ID, [Field("count", int32)])
+
+INTERFACE = InterfaceDef(
+    "relay",
+    [
+        ProcedureDef(
+            "bump_on_b",
+            [Param("counter", PointerType(COUNTER_TYPE_ID))],
+            returns=int32,
+        ),
+        ProcedureDef(
+            "bump_on_c",
+            [Param("counter", PointerType(COUNTER_TYPE_ID))],
+            returns=int32,
+        ),
+        ProcedureDef(
+            "peek_on_a",
+            [Param("counter", PointerType(COUNTER_TYPE_ID))],
+            returns=int32,
+        ),
+    ],
+)
+
+
+def main() -> None:
+    network = Network()
+    name_server = TypeNameServer(network.add_site("NS"), TypeRegistry())
+    name_server.publish(COUNTER_TYPE_ID, counter_spec)
+    runtimes = {}
+    for site_id in ("A", "B", "C"):
+        site = network.add_site(site_id)
+        runtimes[site_id] = SmartRpcRuntime(
+            network, site, SPARC32, resolver=TypeResolver(site, "NS")
+        )
+
+    def bump_on_b(ctx, counter: int) -> int:
+        view = ctx.struct_view(counter, counter_spec)
+        view.set("count", view.get("count") + 1)  # dirty write on B
+        print(f"  B sees count={view.get('count')} after its increment")
+        # Nested call: B -> C, same pointer; B's dirty data travels too.
+        return ctx.call("C", "relay.bump_on_c", (counter,))
+
+    def bump_on_c(ctx, counter: int) -> int:
+        view = ctx.struct_view(counter, counter_spec)
+        seen = view.get("count")
+        print(f"  C sees count={seen} (B's modification arrived with "
+              "the call)")
+        view.set("count", seen + 1)
+        # Callback: C -> A, the ground site itself.
+        return ctx.call("A", "relay.peek_on_a", (counter,))
+
+    def peek_on_a(ctx, counter: int) -> int:
+        # A is the counter's home: the swizzled pointer IS the original
+        # address, and the piggybacked dirty data updated it in place.
+        view = ctx.struct_view(counter, counter_spec)
+        print(f"  A (via callback) sees count={view.get('count')} in its "
+              "own heap")
+        return view.get("count")
+
+    implementations = {
+        "bump_on_b": bump_on_b,
+        "bump_on_c": bump_on_c,
+        "peek_on_a": peek_on_a,
+    }
+    for runtime in runtimes.values():
+        bind_server(runtime, INTERFACE, dict(implementations))
+
+    machine_a = runtimes["A"]
+    counter = machine_a.malloc(COUNTER_TYPE_ID)
+    machine_a.struct_view(counter, counter_spec).set("count", 0)
+
+    stub = ClientStub(machine_a, INTERFACE, "B")
+    print("A starts a session and calls B with a pointer to count=0")
+    with machine_a.session() as session:
+        final = stub.bump_on_b(session, counter)
+    print(f"returned value: {final}")
+    home_value = machine_a.struct_view(counter, counter_spec).get("count")
+    print(f"A's heap after the session: count={home_value}")
+    assert final == 2 and home_value == 2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Remote memory management: extended_malloc / extended_free.
+
+Site B extends a list that lives on site A by allocating nodes *in A's
+address space* — without one network message per allocation: the
+runtime batches the operations and flushes them when control returns
+to A.  B then prunes the list, releasing remote memory with
+``extended_free``.
+
+Run::
+
+    python examples/remote_memory.py
+"""
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.rpc import ClientStub
+from repro.simnet import Network
+from repro.smartrpc import SmartRpcRuntime
+from repro.workloads.linked_list import (
+    LIST_OPS,
+    LIST_NODE_TYPE_ID,
+    bind_list_server,
+    build_list,
+    list_node_spec,
+    read_list,
+)
+from repro.xdr import SPARC32
+from repro.xdr.registry import TypeRegistry
+
+
+def main() -> None:
+    network = Network()
+    name_server = TypeNameServer(network.add_site("NS"), TypeRegistry())
+    name_server.publish(LIST_NODE_TYPE_ID, list_node_spec())
+    site_a = network.add_site("A")
+    site_b = network.add_site("B")
+    machine_a = SmartRpcRuntime(
+        network, site_a, SPARC32, resolver=TypeResolver(site_a, "NS")
+    )
+    machine_b = SmartRpcRuntime(
+        network, site_b, SPARC32, resolver=TypeResolver(site_b, "NS")
+    )
+    bind_list_server(machine_b)
+    machine_a.import_interface(LIST_OPS)
+
+    head = build_list(machine_a, [10, -3, 20, -7])
+    print("A's list:", read_list(machine_a, head))
+
+    client = ClientStub(machine_a, LIST_OPS, "B")
+    with machine_a.session() as session:
+        appended = client.append_range(session, head, 100, 5)
+        print(f"B appended {appended} nodes into A's heap "
+              "(allocations batched into one message)")
+        new_head = client.drop_negatives(session, head)
+        print("B pruned negative nodes with extended_free")
+    print("A's list after the session:", read_list(machine_a, new_head))
+    print()
+    print(network.stats.summary())
+
+
+if __name__ == "__main__":
+    main()

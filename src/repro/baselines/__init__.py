@@ -1,0 +1,18 @@
+"""The two baseline RPC systems from the paper's Section 2.
+
+* :class:`~repro.baselines.eager.FullyEagerRpc` — the whole transitive
+  closure of every pointer argument is deep-copied to the callee before
+  the procedure body runs (``rpcgen``-style recursive marshalling);
+* :class:`~repro.baselines.lazy.FullyLazyRpc` — pointer contents are
+  fetched by a callback at each first dereference, with no eager
+  closure and no sharing of pages between data.
+
+Both run the *same* workload code as the proposed method, so the
+Figure 4/5 comparison measures the transfer policies, not different
+programs.
+"""
+
+from repro.baselines.eager import FullyEagerRpc
+from repro.baselines.lazy import FullyLazyRpc
+
+__all__ = ["FullyEagerRpc", "FullyLazyRpc"]

@@ -1,0 +1,39 @@
+"""The fully eager baseline (paper §2, "eager method").
+
+Pointer arguments (and pointer results) are marshalled by deep-copying
+their entire transitive closure, before the remote procedure body runs.
+The callee works on a private copy in its own heap: accesses are plain
+local accesses and never fault, but the whole structure crosses the
+wire whether or not the body touches it — "marshaling the whole tree
+and sending it to the remote procedure would terribly increase the
+execution overhead" when only a portion is needed.
+
+Copies are one-way: modifications made by the callee stay in the
+callee's copy (conventional RPC input-argument semantics).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import graphcopy
+from repro.rpc import marshal
+from repro.rpc.runtime import RpcRuntime
+from repro.rpc.session import SessionState
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+
+
+class FullyEagerRpc(RpcRuntime):
+    """Conventional RPC plus rpcgen-style deep copy of pointer closures."""
+
+    def _bind_pointer_out(self, state: SessionState) -> marshal.PointerOut:
+        def pointer_out(
+            encoder: XdrEncoder, pointer: int, target_type_id: str
+        ) -> None:
+            graphcopy.encode_graph(self, encoder, pointer, target_type_id)
+
+        return pointer_out
+
+    def _bind_pointer_in(self, state: SessionState) -> marshal.PointerIn:
+        def pointer_in(decoder: XdrDecoder, target_type_id: str) -> int:
+            return graphcopy.decode_graph(self, decoder, target_type_id)
+
+        return pointer_in

@@ -1,0 +1,53 @@
+"""The fully lazy baseline (paper §2, "lazy method").
+
+"Whenever a remote pointer must be dereferenced during the execution of
+a callee program, the callee calls back the caller with a request to
+pass the contents of the pointer."  The contents of one pointer — and
+nothing else — cross the wire per callback.
+
+Mechanically this is the smart runtime with both knobs at their lazy
+extremes:
+
+* closure size 0 — a data request carries exactly the faulted data, no
+  eager prefetch;
+* ``isolated`` placeholder allocation — every datum sits alone on its
+  own protected page, so the first dereference of *every* pointer
+  faults and issues its own callback (no page-sharing, no batching).
+
+Fetched data is still cached (the paper's measured lazy baseline
+performs one callback per first dereference; see Fig. 5, where the
+callback count equals the number of visited nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.address_space import AddressSpace
+from repro.namesvc.client import TypeResolver
+from repro.simnet.network import Network, Site
+from repro.smartrpc.cache import ISOLATED
+from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.xdr.arch import Architecture
+
+
+class FullyLazyRpc(SmartRpcRuntime):
+    """Callback-per-dereference remote pointers."""
+
+    def __init__(
+        self,
+        network: Network,
+        site: Site,
+        arch: Architecture,
+        resolver: Optional[TypeResolver] = None,
+        space: Optional[AddressSpace] = None,
+    ) -> None:
+        super().__init__(
+            network,
+            site,
+            arch,
+            resolver=resolver,
+            space=space,
+            closure_size=0,
+            allocation_strategy=ISOLATED,
+        )

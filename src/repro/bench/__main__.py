@@ -1,0 +1,71 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench            # list experiments
+    python -m repro.bench fig4       # one experiment at paper scale
+    python -m repro.bench all        # everything (several minutes)
+    python -m repro.bench fig4 --quick   # reduced scale for smoke runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+_QUICK_OVERRIDES = {
+    "fig4": dict(num_nodes=8191, ratios=[0.0, 0.25, 0.5, 0.75, 1.0]),
+    "fig5": dict(num_nodes=8191, ratios=[0.0, 0.25, 0.5, 0.75, 1.0]),
+    "fig6": dict(
+        node_counts=[4095, 8191],
+        closure_sizes=[0, 1024, 4096, 16384],
+        repeats=3,
+    ),
+    "fig7": dict(num_nodes=8191, ratios=[0.0, 0.25, 0.5, 0.75, 1.0]),
+}
+
+
+def main(argv=None) -> int:
+    """Run one (or all) experiments and print their tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures/tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment name, or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced problem sizes (for smoke runs)",
+    )
+    args = parser.parse_args(argv)
+    if not args.experiment:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        print("or: all")
+        return 0
+    names = (
+        list(ALL_EXPERIMENTS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        runner = ALL_EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        kwargs = _QUICK_OVERRIDES.get(name, {}) if args.quick else {}
+        result = runner(**kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

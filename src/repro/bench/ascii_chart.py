@@ -1,0 +1,89 @@
+"""Minimal ASCII line charts for experiment series.
+
+The evaluation's figures are curves; rendering them as text makes the
+regenerated shapes visible directly in benchmark output and in
+EXPERIMENTS.md without any plotting dependency::
+
+    12.00 |                                         L
+          |                                 L
+     8.00 |                         L
+          |                 L
+     4.00 |         L                           P
+          |     L               P       P
+     0.00 |_P_E_P_E_____E_______E_______E________E_
+            0.0                                1.0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+_HEIGHT = 12
+_WIDTH = 64
+
+
+def render_chart(
+    series: Dict[str, Series],
+    height: int = _HEIGHT,
+    width: int = _WIDTH,
+    y_label: str = "",
+) -> str:
+    """Render named series on one shared-axis ASCII chart.
+
+    Each series is plotted with the first character of its name; where
+    points collide the later series wins.  Axes are linear and scaled
+    to the union of all points.
+    """
+    points = [
+        (x, y) for curve in series.values() for x, y in curve
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    y_low = min(y_low, 0.0)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for name, curve in series.items():
+        marker = name[0].upper()
+        for x, y in curve:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = int((y - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    label_width = 10
+    lines = []
+    for index, row in enumerate(grid):
+        y_value = y_high - index * y_span / (height - 1)
+        show_label = index % 3 == 0 or index == height - 1
+        label = (
+            f"{y_value:{label_width}.3f}" if show_label
+            else " " * label_width
+        )
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(
+        " " * label_width
+        + " +"
+        + "-" * width
+    )
+    x_axis = (
+        " " * (label_width + 2)
+        + f"{x_low:<{width // 2}g}"
+        + f"{x_high:>{width - width // 2}g}"
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{name[0].upper()}={name}" for name in series
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)

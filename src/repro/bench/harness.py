@@ -1,0 +1,208 @@
+"""World construction and single-run experiment drivers.
+
+A *world* is one simulated deployment: a network, a type name server,
+a caller site "A" holding the data, and a callee site "B" running the
+remote procedures — the paper's two-SPARCstation setup.  Each
+measurement builds a fresh world so runs are independent and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.eager import FullyEagerRpc
+from repro.baselines.lazy import FullyLazyRpc
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.server import TypeNameServer
+from repro.rpc.runtime import RpcRuntime
+from repro.rpc.stubgen import ClientStub
+from repro.simnet.clock import CostModel, Stopwatch
+from repro.simnet.network import Network
+from repro.simnet.stats import StatsCollector
+from repro.smartrpc.cache import SINGLE_HOME
+from repro.smartrpc.closure import BREADTH_FIRST
+from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.workloads.hashtable import bind_hash_server, register_hash_types
+from repro.workloads.linked_list import bind_list_server, register_list_types
+from repro.workloads.traversal import (
+    TREE_OPS,
+    bind_tree_server,
+    tree_client,
+    visit_counts,
+)
+from repro.workloads.trees import build_complete_tree, register_tree_types
+from repro.xdr.arch import SPARC32, Architecture
+from repro.xdr.registry import TypeRegistry
+
+from repro.bench.calibration import PAPER_COST_MODEL
+
+PROPOSED = "proposed"
+FULLY_EAGER = "eager"
+FULLY_LAZY = "lazy"
+METHODS = (FULLY_EAGER, FULLY_LAZY, PROPOSED)
+
+CALLER = "A"
+CALLEE = "B"
+NAME_SERVER = "NS"
+
+
+@dataclass
+class World:
+    """One simulated two-site deployment."""
+
+    network: Network
+    caller: RpcRuntime
+    callee: RpcRuntime
+    method: str
+
+    @property
+    def stats(self) -> StatsCollector:
+        """The shared statistics collector."""
+        return self.network.stats
+
+
+def _make_runtime(
+    method: str,
+    network: Network,
+    site_id: str,
+    arch: Architecture,
+    closure_size: int,
+    allocation_strategy: str,
+    closure_order: str,
+    batch_memory_ops: bool,
+) -> RpcRuntime:
+    site = network.add_site(site_id)
+    resolver = TypeResolver(site, NAME_SERVER)
+    if method == PROPOSED:
+        return SmartRpcRuntime(
+            network,
+            site,
+            arch,
+            resolver=resolver,
+            closure_size=closure_size,
+            allocation_strategy=allocation_strategy,
+            closure_order=closure_order,
+            batch_memory_ops=batch_memory_ops,
+        )
+    if method == FULLY_EAGER:
+        return FullyEagerRpc(network, site, arch, resolver=resolver)
+    if method == FULLY_LAZY:
+        return FullyLazyRpc(network, site, arch, resolver=resolver)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def make_world(
+    method: str,
+    closure_size: int = 8192,
+    allocation_strategy: str = SINGLE_HOME,
+    closure_order: str = BREADTH_FIRST,
+    caller_arch: Architecture = SPARC32,
+    callee_arch: Architecture = SPARC32,
+    cost_model: Optional[CostModel] = None,
+    batch_memory_ops: bool = True,
+) -> World:
+    """Build a fresh deployment running ``method``.
+
+    Both sites default to the paper's SPARC architecture so node sizes
+    (16 bytes) and therefore transfer volumes match the original.
+    """
+    network = Network(
+        cost_model=cost_model if cost_model is not None else PAPER_COST_MODEL
+    )
+    TypeNameServer(network.add_site(NAME_SERVER), TypeRegistry())
+    caller = _make_runtime(
+        method, network, CALLER, caller_arch,
+        closure_size, allocation_strategy, closure_order, batch_memory_ops,
+    )
+    callee = _make_runtime(
+        method, network, CALLEE, callee_arch,
+        closure_size, allocation_strategy, closure_order, batch_memory_ops,
+    )
+    for runtime in (caller, callee):
+        register_tree_types(runtime)
+        register_hash_types(runtime)
+        register_list_types(runtime)
+        runtime.import_interface(TREE_OPS)
+    bind_tree_server(callee)
+    bind_hash_server(callee)
+    bind_list_server(callee)
+    return World(network, caller, callee, method)
+
+
+@dataclass
+class ExperimentRun:
+    """Measurements of one remote procedure call."""
+
+    method: str
+    seconds: float
+    callbacks: int
+    messages: int
+    bytes_moved: int
+    page_faults: int
+    write_faults: int
+    entries: int
+    result: int
+
+    def row(self) -> tuple:
+        """Compact tuple for table rendering."""
+        return (
+            self.method,
+            round(self.seconds, 4),
+            self.callbacks,
+            self.messages,
+            self.bytes_moved,
+        )
+
+
+def run_tree_call(
+    world: World,
+    num_nodes: int,
+    procedure: str,
+    ratio: Optional[float] = None,
+    repeats: int = 0,
+    seed: int = 0,
+) -> ExperimentRun:
+    """Build a tree on the caller and measure one remote call on it.
+
+    ``procedure`` is ``search`` / ``search_update`` (with ``ratio``) or
+    ``path_search`` (with ``repeats`` and ``seed``).  Only the call
+    itself is timed — tree construction and session teardown are not
+    part of the paper's "time required to process one remote procedure
+    call" — but the measured call does include the coherency piggyback
+    work its updates cause, as the original's did.
+    """
+    root = build_complete_tree(world.caller, num_nodes)
+    stub = tree_client(world.caller, CALLEE)
+    world.stats.reset()
+    clock = world.network.clock
+    with world.caller.session() as session:
+        watch = Stopwatch(clock)
+        if procedure == "search":
+            assert ratio is not None
+            target = visit_counts(ratio, num_nodes)["target_nodes"]
+            result = stub.search(session, root, target)
+        elif procedure == "search_update":
+            assert ratio is not None
+            target = visit_counts(ratio, num_nodes)["target_nodes"]
+            result = stub.search_update(session, root, target)
+        elif procedure == "search_repeat":
+            result = stub.search_repeat(session, root, num_nodes, repeats)
+        elif procedure == "path_search":
+            result = stub.path_search(session, root, repeats, seed)
+        else:
+            raise ValueError(f"unknown tree procedure {procedure!r}")
+        seconds = watch.elapsed
+    stats = world.stats
+    return ExperimentRun(
+        method=world.method,
+        seconds=seconds,
+        callbacks=stats.callbacks,
+        messages=stats.total_messages,
+        bytes_moved=stats.total_bytes,
+        page_faults=stats.page_faults,
+        write_faults=stats.write_faults,
+        entries=stats.entries_transferred,
+        result=result,
+    )

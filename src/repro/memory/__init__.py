@@ -1,0 +1,41 @@
+"""Simulated paged virtual memory with user-level fault handling.
+
+The paper relies on two facilities that SunOS/Mach exposed to user
+programs: setting page protection on regions of the address space, and
+catching the access-violation exception raised when a protected page is
+touched.  This package provides both over pure-Python address spaces:
+
+* :class:`~repro.memory.address_space.AddressSpace` — a paged,
+  byte-addressable space with per-page :class:`~repro.memory.page.Protection`
+  and privileged (kernel-style) access that bypasses protection;
+* :class:`~repro.memory.faults.AccessViolation` — the exception a
+  protected access raises, carrying the fault address and access type;
+* :class:`~repro.memory.accessor.Mem` — the program-facing accessor that
+  transparently invokes the registered fault handler and retries, the
+  way the OS restarts a faulted instruction after the handler returns;
+* :class:`~repro.memory.heap.Heap` — the system-controlled *typed* heap:
+  the paper assumes "all data referenced by long pointers are located in
+  the heap area under the system control", which is what lets a home
+  space walk transitive closures and unswizzle addresses back to typed
+  long pointers.
+"""
+
+from repro.memory.accessor import Mem
+from repro.memory.address_space import AddressSpace
+from repro.memory.faults import AccessViolation, FaultKind, SegmentationError
+from repro.memory.heap import Allocation, Heap, HeapError
+from repro.memory.page import PAGE_SIZE_DEFAULT, Page, Protection
+
+__all__ = [
+    "AccessViolation",
+    "AddressSpace",
+    "Allocation",
+    "FaultKind",
+    "Heap",
+    "HeapError",
+    "Mem",
+    "PAGE_SIZE_DEFAULT",
+    "Page",
+    "Protection",
+    "SegmentationError",
+]

@@ -1,0 +1,118 @@
+"""The program-facing memory accessor.
+
+Workload code ("the remote procedure body") never touches an
+:class:`~repro.memory.address_space.AddressSpace` directly; it goes
+through :class:`Mem`, which plays the role of the CPU load/store path:
+
+1. attempt the access;
+2. on an access violation, deliver the fault to the registered
+   user-level handler (as the kernel delivers SIGSEGV / a Mach
+   exception);
+3. re-execute the access.
+
+This makes remote data *transparent* to the program: the same
+``mem.load_int(...)`` works whether the page is ordinary local memory,
+an already-filled cache page, or a protected page whose data is still
+on another machine.  Once a page is resident, the only cost is
+``CostModel.local_access`` — the paper's claim that cached remote data
+costs exactly as much as local data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.faults import AccessViolation, FaultLoopError
+from repro.simnet.clock import CostModel, SimClock
+from repro.simnet.stats import StatsCollector
+
+_MAX_FAULT_RETRIES = 8
+
+
+class Mem:
+    """Checked, fault-transparent access to one address space."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        clock: Optional[SimClock] = None,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        self.space = space
+        self.clock = clock
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.stats = stats
+
+    # -- raw loads/stores ----------------------------------------------------
+
+    def load(self, address: int, size: int) -> bytes:
+        """Load ``size`` bytes, transparently resolving faults."""
+        for _ in range(_MAX_FAULT_RETRIES):
+            try:
+                data = self.space.read(address, size)
+            except AccessViolation as fault:
+                self._deliver(fault)
+                continue
+            self._charge_access()
+            return data
+        raise FaultLoopError(
+            f"load of {address:#x} in {self.space.space_id!r} still faults "
+            f"after {_MAX_FAULT_RETRIES} handler invocations"
+        )
+
+    def store(self, address: int, data: bytes) -> None:
+        """Store bytes, transparently resolving faults."""
+        for _ in range(_MAX_FAULT_RETRIES):
+            try:
+                self.space.write(address, data)
+            except AccessViolation as fault:
+                self._deliver(fault)
+                continue
+            self._charge_access()
+            return
+        raise FaultLoopError(
+            f"store to {address:#x} in {self.space.space_id!r} still faults "
+            f"after {_MAX_FAULT_RETRIES} handler invocations"
+        )
+
+    # -- integer/float convenience --------------------------------------------
+
+    def load_uint(
+        self, address: int, size: int, byteorder: str = "big"
+    ) -> int:
+        """Load an unsigned integer of ``size`` bytes."""
+        return int.from_bytes(self.load(address, size), byteorder)
+
+    def store_uint(
+        self, address: int, value: int, size: int, byteorder: str = "big"
+    ) -> None:
+        """Store an unsigned integer of ``size`` bytes."""
+        self.store(address, value.to_bytes(size, byteorder))
+
+    def load_int(self, address: int, size: int, byteorder: str = "big") -> int:
+        """Load a signed (two's-complement) integer."""
+        return int.from_bytes(
+            self.load(address, size), byteorder, signed=True
+        )
+
+    def store_int(
+        self, address: int, value: int, size: int, byteorder: str = "big"
+    ) -> None:
+        """Store a signed (two's-complement) integer."""
+        self.store(address, value.to_bytes(size, byteorder, signed=True))
+
+    # -- internals ------------------------------------------------------------
+
+    def _deliver(self, fault: AccessViolation) -> None:
+        handler = self.space.fault_handler
+        if handler is None:
+            raise fault
+        if self.stats is not None:
+            self.stats.page_faults += 1
+        handler(fault)
+
+    def _charge_access(self) -> None:
+        if self.clock is not None:
+            self.clock.advance(self.cost_model.local_access)

@@ -1,0 +1,198 @@
+"""Paged address spaces.
+
+An :class:`AddressSpace` is a sparse collection of pages addressed by
+integer byte addresses starting at :data:`REGION_BASE` (address 0 is
+kept unmapped so that 0 can serve as the NULL pointer, as in C).
+
+Two access planes exist, mirroring user/kernel mode:
+
+* :meth:`read` / :meth:`write` check page protection and raise
+  :class:`~repro.memory.faults.AccessViolation` — programs go through
+  these (via :class:`~repro.memory.accessor.Mem`);
+* :meth:`read_raw` / :meth:`write_raw` bypass protection — the runtime
+  uses these to fill protected cache pages, the way the original
+  runtime wrote through a second unprotected mapping / kernel copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.memory.faults import AccessViolation, FaultKind, SegmentationError
+from repro.memory.page import PAGE_SIZE_DEFAULT, Page, Protection
+
+REGION_BASE = PAGE_SIZE_DEFAULT  # keep page 0 unmapped: NULL stays invalid
+
+FaultHandler = Callable[[AccessViolation], None]
+
+
+class AddressSpace:
+    """One process's address space on one site.
+
+    Regions are allocated page-grain through :meth:`map_region`; within a
+    region, finer allocation is the job of :class:`repro.memory.heap.Heap`
+    or of the smart-RPC cache manager.
+    """
+
+    def __init__(
+        self,
+        space_id: str,
+        page_size: int = PAGE_SIZE_DEFAULT,
+    ) -> None:
+        if page_size <= 0 or page_size % 8 != 0:
+            raise ValueError(f"bad page size {page_size!r}")
+        self.space_id = space_id
+        self.page_size = page_size
+        self._pages: Dict[int, Page] = {}
+        self._next_page = max(1, REGION_BASE // page_size)
+        self._fault_handler: Optional[FaultHandler] = None
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_region(
+        self,
+        num_pages: int,
+        protection: Protection = Protection.READ_WRITE,
+    ) -> int:
+        """Map ``num_pages`` fresh zeroed pages; return the base address."""
+        if num_pages <= 0:
+            raise ValueError(f"bad region size {num_pages!r} pages")
+        base_page = self._next_page
+        for offset in range(num_pages):
+            number = base_page + offset
+            self._pages[number] = Page(number, self.page_size, protection)
+        self._next_page += num_pages
+        return base_page * self.page_size
+
+    def unmap_page(self, page_number: int) -> None:
+        """Remove one page from the space (cache invalidation)."""
+        if page_number not in self._pages:
+            raise SegmentationError(
+                self.space_id, page_number * self.page_size, FaultKind.READ
+            )
+        del self._pages[page_number]
+
+    def is_mapped(self, address: int) -> bool:
+        """Whether ``address`` falls on a mapped page."""
+        return (address // self.page_size) in self._pages
+
+    def page_number(self, address: int) -> int:
+        """The page an address belongs to."""
+        return address // self.page_size
+
+    def page(self, page_number: int) -> Page:
+        """Look up a mapped page."""
+        try:
+            return self._pages[page_number]
+        except KeyError:
+            raise SegmentationError(
+                self.space_id, page_number * self.page_size, FaultKind.READ
+            ) from None
+
+    @property
+    def mapped_pages(self) -> List[int]:
+        """Sorted numbers of all mapped pages."""
+        return sorted(self._pages)
+
+    # -- protection (the mprotect interface) --------------------------------
+
+    def protect(self, page_number: int, protection: Protection) -> None:
+        """Change one page's protection."""
+        self.page(page_number).protection = protection
+
+    def protection_of(self, page_number: int) -> Protection:
+        """Current protection of one page."""
+        return self.page(page_number).protection
+
+    def set_fault_handler(self, handler: Optional[FaultHandler]) -> None:
+        """Register the user-level access-violation handler.
+
+        The handler is invoked by :class:`repro.memory.accessor.Mem`
+        (playing the role of the kernel's signal delivery), not by the
+        address space itself.
+        """
+        self._fault_handler = handler
+
+    @property
+    def fault_handler(self) -> Optional[FaultHandler]:
+        """The registered handler, if any."""
+        return self._fault_handler
+
+    # -- checked access (user mode) -----------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        """Protection-checked load of ``size`` bytes."""
+        self._check(address, size, FaultKind.READ)
+        return self.read_raw(address, size)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Protection-checked store."""
+        self._check(address, len(data), FaultKind.WRITE)
+        self.write_raw(address, data)
+
+    def _check(self, address: int, size: int, kind: FaultKind) -> None:
+        if size < 0:
+            raise ValueError(f"negative access size {size!r}")
+        first = address // self.page_size
+        last = (address + max(size, 1) - 1) // self.page_size
+        for number in range(first, last + 1):
+            page = self._pages.get(number)
+            if page is None:
+                raise SegmentationError(self.space_id, address, kind)
+            allowed = (
+                page.protection.allows_read()
+                if kind is FaultKind.READ
+                else page.protection.allows_write()
+            )
+            if not allowed:
+                fault_address = max(address, page.base_address)
+                raise AccessViolation(
+                    self.space_id, fault_address, kind, number
+                )
+
+    # -- raw access (kernel mode) --------------------------------------------
+
+    def read_raw(self, address: int, size: int) -> bytes:
+        """Load bytes ignoring protection (runtime/kernel plane)."""
+        # Fast path: the access stays within one page.
+        page = self._pages.get(address // self.page_size)
+        if page is not None:
+            offset = address - page.base_address
+            if offset + size <= self.page_size:
+                return bytes(page.data[offset : offset + size])
+        out = bytearray()
+        cursor = address
+        remaining = size
+        while remaining > 0:
+            page = self.page(cursor // self.page_size)
+            offset = cursor - page.base_address
+            chunk = min(remaining, self.page_size - offset)
+            out += page.data[offset : offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write_raw(self, address: int, data: bytes) -> None:
+        """Store bytes ignoring protection (runtime/kernel plane)."""
+        # Fast path: the access stays within one page.
+        page = self._pages.get(address // self.page_size)
+        if page is not None:
+            offset = address - page.base_address
+            if offset + len(data) <= self.page_size:
+                page.data[offset : offset + len(data)] = data
+                return
+        cursor = address
+        view = memoryview(data)
+        while view.nbytes > 0:
+            page = self.page(cursor // self.page_size)
+            offset = cursor - page.base_address
+            chunk = min(view.nbytes, self.page_size - offset)
+            page.data[offset : offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AddressSpace({self.space_id!r}, {len(self._pages)} pages "
+            f"of {self.page_size}B)"
+        )

@@ -1,0 +1,62 @@
+"""Pages and page protection.
+
+Page size defaults to 4096 bytes, the SunOS 4.1.1 / SPARC page size of
+the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+PAGE_SIZE_DEFAULT = 4096
+
+
+class Protection(enum.Enum):
+    """Access rights of one page, as set through the simulated MMU.
+
+    ``NONE`` is the state of a freshly allocated *protected page area*
+    (reads and writes both fault); ``READ`` is the state of a filled
+    cache page (first write faults, which is how dirtiness is detected);
+    ``READ_WRITE`` is ordinary memory.
+    """
+
+    NONE = 0
+    READ = 1
+    READ_WRITE = 2
+
+    def allows_read(self) -> bool:
+        """Whether a load from the page succeeds."""
+        return self is not Protection.NONE
+
+    def allows_write(self) -> bool:
+        """Whether a store to the page succeeds."""
+        return self is Protection.READ_WRITE
+
+
+class Page:
+    """One page of simulated physical memory."""
+
+    __slots__ = ("number", "size", "protection", "data")
+
+    def __init__(
+        self,
+        number: int,
+        size: int = PAGE_SIZE_DEFAULT,
+        protection: Protection = Protection.READ_WRITE,
+    ) -> None:
+        self.number = number
+        self.size = size
+        self.protection = protection
+        self.data = bytearray(size)
+
+    @property
+    def base_address(self) -> int:
+        """First address of the page."""
+        return self.number * self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this page."""
+        return self.base_address <= address < self.base_address + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page(#{self.number} {self.protection.name})"

@@ -1,0 +1,14 @@
+"""The network name server for data-type specifiers.
+
+The paper assumes "the system can obtain an actual data structure from
+a data type specifier by querying a database that serves as a network
+name server."  :class:`~repro.namesvc.server.TypeNameServer` is that
+database, hosted on a site of the simulated network;
+:class:`~repro.namesvc.client.TypeResolver` is the per-site client with
+a local cache, so each specifier costs at most one query per site.
+"""
+
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.server import TypeNameServer
+
+__all__ = ["TypeNameServer", "TypeResolver"]

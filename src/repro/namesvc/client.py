@@ -1,0 +1,62 @@
+"""Per-site type resolution with caching."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.namesvc.server import decode_query_reply
+from repro.simnet.message import MessageKind
+from repro.simnet.network import Site
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.stream import XdrEncoder
+from repro.xdr.types import TypeSpec
+
+
+class TypeResolver:
+    """Resolves type ids, consulting the name server at most once each.
+
+    Every site keeps a local :class:`TypeRegistry` acting as the cache;
+    locally registered types never touch the network, and fetched
+    definitions are cached for the life of the process — a type
+    definition is immutable once published, so the cache never needs
+    invalidation.
+    """
+
+    def __init__(
+        self,
+        site: Site,
+        server_site_id: Optional[str],
+        local: Optional[TypeRegistry] = None,
+    ) -> None:
+        self.site = site
+        self.server_site_id = server_site_id
+        self.local = local if local is not None else TypeRegistry()
+        self.queries_sent = 0
+
+    def register(self, type_id: str, spec: TypeSpec) -> None:
+        """Register a type locally (no network traffic)."""
+        self.local.register(type_id, spec)
+
+    def resolve(self, type_id: str) -> TypeSpec:
+        """Return the spec for ``type_id``, querying the server on a miss."""
+        if self.local.knows(type_id):
+            return self.local.resolve(type_id)
+        if self.server_site_id is None:
+            # No server configured: behave as a plain local registry.
+            return self.local.resolve(type_id)
+        encoder = XdrEncoder()
+        encoder.pack_string(type_id)
+        reply = self.site.send(
+            self.server_site_id,
+            MessageKind.TYPE_QUERY,
+            encoder.getvalue(),
+            reply_kind=MessageKind.TYPE_REPLY,
+        )
+        self.queries_sent += 1
+        spec = decode_query_reply(reply, type_id)
+        self.local.register(type_id, spec)
+        return spec
+
+    def knows(self, type_id: str) -> bool:
+        """Whether the id resolves without a (new) network query."""
+        return self.local.knows(type_id)

@@ -1,0 +1,59 @@
+"""The type name server."""
+
+from __future__ import annotations
+
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.network import Site
+from repro.xdr.errors import XdrError
+from repro.xdr.registry import TypeRegistry, encode_spec
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import TypeSpec
+
+_STATUS_OK = 0
+_STATUS_UNKNOWN = 1
+
+
+class TypeNameServer:
+    """Serves type definitions over the network.
+
+    The server owns the authoritative :class:`TypeRegistry`; programs
+    publish their types here (the role the original system gave its
+    name-server database) and any site can resolve a specifier it has
+    never seen.
+    """
+
+    def __init__(self, site: Site, registry: TypeRegistry) -> None:
+        self.site = site
+        self.registry = registry
+        site.register_handler(MessageKind.TYPE_QUERY, self._handle_query)
+
+    def publish(self, type_id: str, spec: TypeSpec) -> None:
+        """Register a type definition with the authoritative database."""
+        self.registry.register(type_id, spec)
+
+    def _handle_query(self, message: Message) -> bytes:
+        decoder = XdrDecoder(message.payload)
+        type_id = decoder.unpack_string()
+        decoder.expect_done()
+        encoder = XdrEncoder()
+        if self.registry.knows(type_id):
+            encoder.pack_uint32(_STATUS_OK)
+            encode_spec(self.registry.resolve(type_id), encoder)
+        else:
+            encoder.pack_uint32(_STATUS_UNKNOWN)
+        return encoder.getvalue()
+
+
+def decode_query_reply(payload: bytes, type_id: str) -> TypeSpec:
+    """Parse a query reply, raising on unknown-type status."""
+    from repro.xdr.registry import decode_spec
+
+    decoder = XdrDecoder(payload)
+    status = decoder.unpack_uint32()
+    if status == _STATUS_UNKNOWN:
+        raise XdrError(f"name server does not know type {type_id!r}")
+    if status != _STATUS_OK:
+        raise XdrError(f"bad name-server status {status!r}")
+    spec = decode_spec(decoder)
+    decoder.expect_done()
+    return spec

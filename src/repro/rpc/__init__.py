@@ -1,0 +1,47 @@
+"""Conventional RPC substrate (Birrell & Nelson style).
+
+This package is the stub-generation RPC system the paper builds on:
+interface definitions (:mod:`repro.rpc.interface`), argument
+marshalling through the canonical XDR form (:mod:`repro.rpc.marshal`),
+a per-address-space runtime with synchronous dispatch, nested calls and
+callbacks (:mod:`repro.rpc.runtime`), RPC sessions
+(:mod:`repro.rpc.session`), and client/server stub generation — both
+runtime proxies and emitted Python source (:mod:`repro.rpc.stubgen`).
+
+Faithful to the paper's Section 1, the *conventional* runtime refuses
+pointer arguments: marshalling a :class:`~repro.xdr.types.PointerType`
+raises :class:`~repro.rpc.errors.PointerNotSupportedError`.  The smart
+runtime (:mod:`repro.smartrpc`) overrides exactly that hook.
+"""
+
+from repro.rpc.errors import (
+    MarshalError,
+    PointerNotSupportedError,
+    RpcError,
+    RpcRemoteError,
+    SessionError,
+    UnknownProcedureError,
+)
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.runtime import CallContext, RpcRuntime
+from repro.rpc.session import RpcSession, SessionState
+from repro.rpc.stubgen import ClientStub, bind_server, emit_stub_source
+
+__all__ = [
+    "CallContext",
+    "ClientStub",
+    "InterfaceDef",
+    "MarshalError",
+    "Param",
+    "PointerNotSupportedError",
+    "ProcedureDef",
+    "RpcError",
+    "RpcRemoteError",
+    "RpcRuntime",
+    "RpcSession",
+    "SessionError",
+    "SessionState",
+    "UnknownProcedureError",
+    "bind_server",
+    "emit_stub_source",
+]

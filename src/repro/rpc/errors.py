@@ -1,0 +1,42 @@
+"""RPC error hierarchy."""
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class MarshalError(RpcError):
+    """An argument or result did not match its declared type."""
+
+
+class PointerNotSupportedError(MarshalError):
+    """A pointer argument reached the *conventional* RPC marshaller.
+
+    This is the paper's "crucial restriction: only certain data types
+    can be used as the arguments of a remote procedure ... pointers
+    cannot be used directly."  The smart runtime replaces the pointer
+    hooks and never raises this.
+    """
+
+
+class UnknownProcedureError(RpcError):
+    """The callee has no binding for the requested procedure."""
+
+
+class SessionError(RpcError):
+    """Invalid session usage (no session, nested ground sessions, use
+    of a remote pointer after its session ended)."""
+
+
+class RpcRemoteError(RpcError):
+    """An exception was raised inside the remote procedure body.
+
+    Carries the remote exception's type name and message; the callee
+    never ships stack frames or objects, only this description, as a
+    real RPC system would.
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"remote {remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message

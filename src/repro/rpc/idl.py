@@ -1,0 +1,378 @@
+"""A textual interface-definition language (the ``rpcgen`` front-end).
+
+The original system's stubs were generated from interface definitions;
+this module provides the equivalent front-end: a small C-flavoured IDL
+parsed into :mod:`repro.xdr.types` specs and
+:class:`~repro.rpc.interface.InterfaceDef` objects.
+
+Grammar (whitespace-insensitive, ``//`` comments)::
+
+    file      := (struct | interface)*
+    struct    := "struct" NAME "{" field* "}" ";"
+    field     := type NAME ("[" INT "]")? ";"
+    type      := scalar | "opaque" "[" INT "]" | NAME "*" | NAME
+    scalar    := int8|uint8|int16|uint16|int32|uint32|int64|uint64
+               | float32|float64
+    interface := "interface" NAME "{" proc* "}" ";"
+    proc      := rettype NAME "(" params? ")" ";"
+    rettype   := type | "void"
+    params    := param ("," param)*
+    param     := type NAME
+
+``NAME *`` is a pointer to a named struct; a bare ``NAME`` embeds the
+struct by value.  Example::
+
+    struct tree_node {
+        tree_node *left;
+        tree_node *right;
+        opaque data[8];
+    };
+
+    interface tree_ops {
+        int64 search(tree_node *root, int32 target);
+        void ping();
+    };
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.rpc.errors import RpcError
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    Field,
+    OpaqueType,
+    PointerType,
+    ScalarType,
+    StructType,
+    TypeSpec,
+    float32,
+    float64,
+    int8,
+    int16,
+    int32,
+    int64,
+    uint8,
+    uint16,
+    uint32,
+    uint64,
+)
+
+SCALARS: Dict[str, ScalarType] = {
+    "int8": int8,
+    "uint8": uint8,
+    "int16": int16,
+    "uint16": uint16,
+    "int32": int32,
+    "uint32": uint32,
+    "int64": int64,
+    "uint64": uint64,
+    "float32": float32,
+    "float64": float64,
+}
+
+_TOKEN = re.compile(
+    r"\s*(?:(//[^\n]*)|([A-Za-z_][A-Za-z0-9_]*)|(-?\d+)|([{}();,*=\[\]]))"
+)
+
+
+class IdlError(RpcError):
+    """A syntax or semantic error in an IDL document."""
+
+
+@dataclass
+class IdlDocument:
+    """Everything one IDL file declares."""
+
+    structs: Dict[str, StructType]
+    interfaces: Dict[str, InterfaceDef]
+    enums: Dict[str, EnumType]
+
+    def struct(self, name: str) -> StructType:
+        """Look up one declared struct."""
+        try:
+            return self.structs[name]
+        except KeyError:
+            raise IdlError(f"no struct {name!r} declared") from None
+
+    def enum(self, name: str) -> EnumType:
+        """Look up one declared enum."""
+        try:
+            return self.enums[name]
+        except KeyError:
+            raise IdlError(f"no enum {name!r} declared") from None
+
+    def interface(self, name: str) -> InterfaceDef:
+        """Look up one declared interface."""
+        try:
+            return self.interfaces[name]
+        except KeyError:
+            raise IdlError(f"no interface {name!r} declared") from None
+
+    def register_types(self, resolver) -> None:
+        """Register every declared struct and enum with a resolver."""
+        for name, spec in self.structs.items():
+            resolver.register(name, spec)
+        for name, spec in self.enums.items():
+            resolver.register(name, spec)
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self._items: List[Tuple[str, str]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                if text[position:].strip():
+                    raise IdlError(
+                        f"unexpected character {text[position]!r} at "
+                        f"offset {position}"
+                    )
+                break
+            position = match.end()
+            comment, word, number, punct = match.groups()
+            if comment is not None:
+                continue
+            if word is not None:
+                self._items.append(("word", word))
+            elif number is not None:
+                self._items.append(("number", number))
+            else:
+                self._items.append(("punct", punct))
+        self._cursor = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._cursor < len(self._items):
+            return self._items[self._cursor]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        item = self.peek()
+        if item is None:
+            raise IdlError("unexpected end of input")
+        self._cursor += 1
+        return item
+
+    def expect(self, kind: str, value: Optional[str] = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            wanted = value if value is not None else kind
+            raise IdlError(f"expected {wanted!r}, got {got_value!r}")
+        return got_value
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        item = self.peek()
+        if item is None:
+            return False
+        got_kind, got_value = item
+        if got_kind == kind and (value is None or got_value == value):
+            self._cursor += 1
+            return True
+        return False
+
+    def done(self) -> bool:
+        return self.peek() is None
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _Tokens(text)
+        self.structs: Dict[str, StructType] = {}
+        self.interfaces: Dict[str, InterfaceDef] = {}
+        self.enums: Dict[str, EnumType] = {}
+        # struct names may be referenced (by pointer) before their
+        # definition completes, so declarations are tracked separately.
+        self._declared: set = set()
+
+    def parse(self) -> IdlDocument:
+        while not self.tokens.done():
+            keyword = self.tokens.expect("word")
+            if keyword == "struct":
+                self._parse_struct()
+            elif keyword == "interface":
+                self._parse_interface()
+            elif keyword == "enum":
+                self._parse_enum()
+            else:
+                raise IdlError(
+                    f"expected 'struct', 'enum' or 'interface', "
+                    f"got {keyword!r}"
+                )
+        self._check_references()
+        return IdlDocument(
+            dict(self.structs), dict(self.interfaces), dict(self.enums)
+        )
+
+    # -- declarations ---------------------------------------------------------
+
+    def _parse_struct(self) -> None:
+        name = self.tokens.expect("word")
+        if name in self._declared:
+            raise IdlError(f"duplicate struct {name!r}")
+        self._declared.add(name)
+        self.tokens.expect("punct", "{")
+        fields: List[Field] = []
+        while not self.tokens.accept("punct", "}"):
+            fields.append(self._parse_field())
+        self.tokens.expect("punct", ";")
+        if not fields:
+            raise IdlError(f"struct {name!r} has no fields")
+        self.structs[name] = StructType(name, fields)
+
+    def _parse_field(self) -> Field:
+        kind, value = self.tokens.next()
+        if (
+            kind == "word"
+            and value == "opaque"
+            and not (self.tokens.peek() == ("punct", "["))
+        ):
+            # C-style sized opaque: ``opaque name[N];``
+            field_name = self.tokens.expect("word")
+            self.tokens.expect("punct", "[")
+            length = int(self.tokens.expect("number"))
+            self.tokens.expect("punct", "]")
+            self.tokens.expect("punct", ";")
+            return Field(field_name, OpaqueType(length))
+        spec = self._parse_type_from(kind, value, context="field")
+        field_name = self.tokens.expect("word")
+        if self.tokens.accept("punct", "["):
+            count = int(self.tokens.expect("number"))
+            self.tokens.expect("punct", "]")
+            spec = ArrayType(spec, count)
+        self.tokens.expect("punct", ";")
+        return Field(field_name, spec)
+
+    def _parse_enum(self) -> None:
+        name = self.tokens.expect("word")
+        if name in self._declared or name in self.enums:
+            raise IdlError(f"duplicate type {name!r}")
+        self.tokens.expect("punct", "{")
+        members: Dict[str, int] = {}
+        while True:
+            member = self.tokens.expect("word")
+            if member in members:
+                raise IdlError(
+                    f"enum {name!r} repeats member {member!r}"
+                )
+            self.tokens.expect("punct", "=")
+            members[member] = int(self.tokens.expect("number"))
+            if self.tokens.accept("punct", "}"):
+                break
+            self.tokens.expect("punct", ",")
+        self.tokens.expect("punct", ";")
+        self.enums[name] = EnumType(name, members)
+
+    def _parse_interface(self) -> None:
+        name = self.tokens.expect("word")
+        if name in self.interfaces:
+            raise IdlError(f"duplicate interface {name!r}")
+        self.tokens.expect("punct", "{")
+        procedures: List[ProcedureDef] = []
+        while not self.tokens.accept("punct", "}"):
+            procedures.append(self._parse_procedure())
+        self.tokens.expect("punct", ";")
+        self.interfaces[name] = InterfaceDef(name, procedures)
+
+    def _parse_procedure(self) -> ProcedureDef:
+        returns: Optional[TypeSpec]
+        kind, value = self.tokens.next()
+        if kind == "word" and value == "void":
+            returns = None
+        else:
+            returns = self._parse_type_from(kind, value, context="return")
+        proc_name = self.tokens.expect("word")
+        self.tokens.expect("punct", "(")
+        params: List[Param] = []
+        if not self.tokens.accept("punct", ")"):
+            while True:
+                spec = self._parse_type(context="parameter")
+                param_name = self.tokens.expect("word")
+                params.append(Param(param_name, spec))
+                if self.tokens.accept("punct", ")"):
+                    break
+                self.tokens.expect("punct", ",")
+        self.tokens.expect("punct", ";")
+        return ProcedureDef(proc_name, params, returns=returns)
+
+    # -- types ----------------------------------------------------------------
+
+    def _parse_type(self, context: str) -> TypeSpec:
+        kind, value = self.tokens.next()
+        return self._parse_type_from(kind, value, context)
+
+    def _parse_type_from(
+        self, kind: str, value: str, context: str
+    ) -> TypeSpec:
+        if kind != "word":
+            raise IdlError(f"expected a type in {context}, got {value!r}")
+        if value == "void":
+            raise IdlError(f"'void' is not a valid {context} type")
+        if value == "opaque":
+            self.tokens.expect("punct", "[")
+            length = int(self.tokens.expect("number"))
+            self.tokens.expect("punct", "]")
+            return OpaqueType(length)
+        scalar = SCALARS.get(value)
+        if scalar is not None:
+            if self.tokens.accept("punct", "*"):
+                raise IdlError(
+                    f"pointers to scalars are not supported "
+                    f"({value} * in {context})"
+                )
+            return scalar
+        if value in self.enums:
+            return self.enums[value]
+        # A named struct: pointer or by-value embedding.
+        if self.tokens.accept("punct", "*"):
+            self._reference(value)
+            return PointerType(value)
+        if value in self.structs:
+            return self.structs[value]
+        raise IdlError(
+            f"unknown type {value!r} in {context} (by-value use "
+            "requires the struct to be defined first)"
+        )
+
+    _references: set = set()
+
+    def _reference(self, name: str) -> None:
+        if not hasattr(self, "_refs"):
+            self._refs = set()
+        self._refs.add(name)
+
+    def _check_references(self) -> None:
+        for name in getattr(self, "_refs", set()):
+            if name not in self.structs:
+                raise IdlError(
+                    f"pointer target {name!r} is never defined"
+                )
+
+
+def parse_idl(text: str) -> IdlDocument:
+    """Parse one IDL document."""
+    return _Parser(text).parse()
+
+
+def load_idl(path) -> IdlDocument:
+    """Parse an IDL document from a file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_idl(handle.read())
+
+
+def compile_idl(text: str) -> str:
+    """Parse an IDL document and emit client-stub source for every
+    interface it declares (the classic rpcgen pipeline)."""
+    from repro.rpc.stubgen import emit_stub_source
+
+    document = parse_idl(text)
+    sources = [
+        emit_stub_source(interface)
+        for interface in document.interfaces.values()
+    ]
+    return "\n\n".join(sources)

@@ -1,0 +1,89 @@
+"""Interface definitions (the IDL layer).
+
+An :class:`InterfaceDef` plays the role of an ``rpcgen`` ``.x`` file:
+it names the remote procedures, their parameter types and their result
+types.  Types are the :mod:`repro.xdr.types` specifiers, so a parameter
+can be a scalar, a string, fixed opaque data, a by-value struct — or a
+pointer, which only the smart runtime accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.rpc.errors import RpcError
+from repro.xdr.types import TypeSpec
+
+
+@dataclass(frozen=True)
+class Param:
+    """One formal parameter of a remote procedure."""
+
+    name: str
+    spec: TypeSpec
+
+
+class ProcedureDef:
+    """One remote procedure signature."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Param],
+        returns: Optional[TypeSpec] = None,
+    ) -> None:
+        if not name.isidentifier():
+            raise RpcError(f"bad procedure name {name!r}")
+        seen = set()
+        for param in params:
+            if param.name in seen:
+                raise RpcError(
+                    f"procedure {name!r} has duplicate parameter "
+                    f"{param.name!r}"
+                )
+            seen.add(param.name)
+        self.name = name
+        self.params: Tuple[Param, ...] = tuple(params)
+        self.returns = returns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(p.name for p in self.params)
+        return f"ProcedureDef({self.name}({args}))"
+
+
+class InterfaceDef:
+    """A named collection of remote procedures."""
+
+    def __init__(
+        self, name: str, procedures: Sequence[ProcedureDef]
+    ) -> None:
+        if not name.isidentifier():
+            raise RpcError(f"bad interface name {name!r}")
+        self.name = name
+        self._procedures: Dict[str, ProcedureDef] = {}
+        for procedure in procedures:
+            if procedure.name in self._procedures:
+                raise RpcError(
+                    f"interface {name!r} has duplicate procedure "
+                    f"{procedure.name!r}"
+                )
+            self._procedures[procedure.name] = procedure
+
+    @property
+    def procedures(self) -> Tuple[ProcedureDef, ...]:
+        """All procedures, in declaration order."""
+        return tuple(self._procedures.values())
+
+    def procedure(self, name: str) -> ProcedureDef:
+        """Look up one procedure by name."""
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise RpcError(
+                f"interface {self.name!r} has no procedure {name!r}"
+            ) from None
+
+    def qualified(self, procedure_name: str) -> str:
+        """The wire name of a procedure (``interface.procedure``)."""
+        return f"{self.name}.{self.procedure(procedure_name).name}"

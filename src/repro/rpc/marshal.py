@@ -1,0 +1,285 @@
+"""Argument and result marshalling.
+
+RPC arguments are *Python values* on the caller (ints, floats, bytes,
+dicts for by-value structs, lists for arrays) packed into the XDR
+canonical form per their declared :class:`~repro.xdr.types.TypeSpec`.
+
+Pointer parameters are delegated to hooks exactly as in
+:mod:`repro.xdr.raw`: the conventional runtime installs hooks that
+raise :class:`~repro.rpc.errors.PointerNotSupportedError`; the smart
+runtime installs unswizzle/swizzle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.rpc.errors import MarshalError, PointerNotSupportedError
+from repro.rpc.funcref import (
+    FuncRefType,
+    pack_func_ref,
+    unpack_func_ref,
+)
+from repro.rpc.interface import ProcedureDef
+from repro.xdr.errors import XdrError
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    OpaqueType,
+    PointerType,
+    ScalarKind,
+    ScalarType,
+    StructType,
+    TypeSpec,
+    UnionType,
+)
+
+PointerOut = Callable[[XdrEncoder, int, str], None]
+PointerIn = Callable[[XdrDecoder, str], int]
+
+
+def refuse_pointer_out(
+    encoder: XdrEncoder, pointer: int, target_type_id: str
+) -> None:
+    """Pointer hook of the conventional runtime: always refuses."""
+    raise PointerNotSupportedError(
+        f"conventional RPC cannot marshal a pointer "
+        f"(to {target_type_id!r}); use the smart runtime"
+    )
+
+
+def refuse_pointer_in(decoder: XdrDecoder, target_type_id: str) -> int:
+    """Pointer hook of the conventional runtime: always refuses."""
+    raise PointerNotSupportedError(
+        f"conventional RPC cannot unmarshal a pointer "
+        f"(to {target_type_id!r}); use the smart runtime"
+    )
+
+
+def pack_value(
+    encoder: XdrEncoder,
+    spec: TypeSpec,
+    value: Any,
+    pointer_out: PointerOut = refuse_pointer_out,
+) -> None:
+    """Append one typed value to the stream."""
+    try:
+        _pack(encoder, spec, value, pointer_out)
+    except XdrError as exc:
+        raise MarshalError(str(exc)) from exc
+
+
+def unpack_value(
+    decoder: XdrDecoder,
+    spec: TypeSpec,
+    pointer_in: PointerIn = refuse_pointer_in,
+) -> Any:
+    """Read one typed value from the stream."""
+    try:
+        return _unpack(decoder, spec, pointer_in)
+    except XdrError as exc:
+        raise MarshalError(str(exc)) from exc
+
+
+def pack_args(
+    encoder: XdrEncoder,
+    procedure: ProcedureDef,
+    args: Sequence[Any],
+    pointer_out: PointerOut = refuse_pointer_out,
+) -> None:
+    """Marshal a full argument vector against a signature."""
+    if len(args) != len(procedure.params):
+        raise MarshalError(
+            f"{procedure.name} takes {len(procedure.params)} arguments, "
+            f"got {len(args)}"
+        )
+    for param, value in zip(procedure.params, args):
+        pack_value(encoder, param.spec, value, pointer_out)
+
+
+def unpack_args(
+    decoder: XdrDecoder,
+    procedure: ProcedureDef,
+    pointer_in: PointerIn = refuse_pointer_in,
+) -> list:
+    """Unmarshal a full argument vector."""
+    return [
+        unpack_value(decoder, param.spec, pointer_in)
+        for param in procedure.params
+    ]
+
+
+def pack_result(
+    encoder: XdrEncoder,
+    procedure: ProcedureDef,
+    value: Any,
+    pointer_out: PointerOut = refuse_pointer_out,
+) -> None:
+    """Marshal a procedure result (void results must be ``None``)."""
+    if procedure.returns is None:
+        if value is not None:
+            raise MarshalError(
+                f"{procedure.name} is void but returned {value!r}"
+            )
+        return
+    pack_value(encoder, procedure.returns, value, pointer_out)
+
+
+def unpack_result(
+    decoder: XdrDecoder,
+    procedure: ProcedureDef,
+    pointer_in: PointerIn = refuse_pointer_in,
+) -> Any:
+    """Unmarshal a procedure result."""
+    if procedure.returns is None:
+        return None
+    return unpack_value(decoder, procedure.returns, pointer_in)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _pack(
+    encoder: XdrEncoder, spec: TypeSpec, value: Any, pointer_out: PointerOut
+) -> None:
+    if isinstance(spec, FuncRefType):
+        pack_func_ref(encoder, spec, value)
+    elif isinstance(spec, ScalarType):
+        _pack_scalar(encoder, spec.kind, value)
+    elif isinstance(spec, OpaqueType):
+        if not isinstance(value, (bytes, bytearray)):
+            raise MarshalError(f"opaque parameter given {value!r}")
+        if len(value) != spec.length:
+            raise MarshalError(
+                f"opaque parameter needs {spec.length} bytes, "
+                f"got {len(value)}"
+            )
+        encoder.pack_fixed_opaque(bytes(value))
+    elif isinstance(spec, PointerType):
+        if not isinstance(value, int) or value < 0:
+            raise MarshalError(f"pointer parameter given {value!r}")
+        pointer_out(encoder, value, spec.target_type_id)
+    elif isinstance(spec, ArrayType):
+        if not isinstance(value, (list, tuple)) or len(value) != spec.count:
+            raise MarshalError(
+                f"array parameter needs {spec.count} elements, got {value!r}"
+            )
+        for element in value:
+            _pack(encoder, spec.element, element, pointer_out)
+    elif isinstance(spec, StructType):
+        if not isinstance(value, dict):
+            raise MarshalError(f"struct parameter given {value!r}")
+        extra = set(value) - {field.name for field in spec.fields}
+        if extra:
+            raise MarshalError(
+                f"struct {spec.name!r} given unknown fields {sorted(extra)}"
+            )
+        for field in spec.fields:
+            if field.name not in value:
+                raise MarshalError(
+                    f"struct {spec.name!r} missing field {field.name!r}"
+                )
+            _pack(encoder, field.spec, value[field.name], pointer_out)
+    elif isinstance(spec, EnumType):
+        encoder.pack_int32(_enum_value(spec, value))
+    elif isinstance(spec, UnionType):
+        if (
+            not isinstance(value, dict)
+            or set(value) != {"arm", "value"}
+        ):
+            raise MarshalError(
+                f"union parameter needs {{'arm', 'value'}}, got {value!r}"
+            )
+        discriminant = _enum_value(spec.discriminant, value["arm"])
+        encoder.pack_int32(discriminant)
+        _pack(
+            encoder,
+            spec.arm_for(discriminant),
+            value["value"],
+            pointer_out,
+        )
+    else:
+        raise MarshalError(f"unsupported parameter spec {spec!r}")
+
+
+def _enum_value(spec: EnumType, value: Any) -> int:
+    """Resolve a member name or raw integer against an enum."""
+    if isinstance(value, str):
+        return spec.value_of(value)
+    if isinstance(value, int) and not isinstance(value, bool):
+        if not spec.is_valid(value):
+            raise MarshalError(
+                f"{value!r} is not a member of enum {spec.name!r}"
+            )
+        return value
+    raise MarshalError(f"enum parameter given {value!r}")
+
+
+def _unpack(
+    decoder: XdrDecoder, spec: TypeSpec, pointer_in: PointerIn
+) -> Any:
+    if isinstance(spec, FuncRefType):
+        return unpack_func_ref(decoder, spec)
+    if isinstance(spec, ScalarType):
+        return _unpack_scalar(decoder, spec.kind)
+    if isinstance(spec, OpaqueType):
+        return decoder.unpack_fixed_opaque(spec.length)
+    if isinstance(spec, PointerType):
+        return pointer_in(decoder, spec.target_type_id)
+    if isinstance(spec, ArrayType):
+        return [
+            _unpack(decoder, spec.element, pointer_in)
+            for _ in range(spec.count)
+        ]
+    if isinstance(spec, StructType):
+        return {
+            field.name: _unpack(decoder, field.spec, pointer_in)
+            for field in spec.fields
+        }
+    if isinstance(spec, EnumType):
+        value = decoder.unpack_int32()
+        return spec.name_of(value)
+    if isinstance(spec, UnionType):
+        discriminant = decoder.unpack_int32()
+        arm = spec.arm_for(discriminant)
+        return {
+            "arm": spec.discriminant.name_of(discriminant),
+            "value": _unpack(decoder, arm, pointer_in),
+        }
+    raise MarshalError(f"unsupported parameter spec {spec!r}")
+
+
+def _pack_scalar(encoder: XdrEncoder, kind: ScalarKind, value: Any) -> None:
+    if kind.is_float:
+        if not isinstance(value, (int, float)):
+            raise MarshalError(f"float parameter given {value!r}")
+        if kind is ScalarKind.FLOAT32:
+            encoder.pack_float(float(value))
+        else:
+            encoder.pack_double(float(value))
+        return
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise MarshalError(f"integer parameter given {value!r}")
+    if kind is ScalarKind.INT64:
+        encoder.pack_int64(value)
+    elif kind is ScalarKind.UINT64:
+        encoder.pack_uint64(value)
+    elif kind in (ScalarKind.INT8, ScalarKind.INT16, ScalarKind.INT32):
+        encoder.pack_int32(value)
+    else:
+        encoder.pack_uint32(value)
+
+
+def _unpack_scalar(decoder: XdrDecoder, kind: ScalarKind) -> Any:
+    if kind is ScalarKind.FLOAT32:
+        return decoder.unpack_float()
+    if kind is ScalarKind.FLOAT64:
+        return decoder.unpack_double()
+    if kind is ScalarKind.INT64:
+        return decoder.unpack_int64()
+    if kind is ScalarKind.UINT64:
+        return decoder.unpack_uint64()
+    if kind in (ScalarKind.INT8, ScalarKind.INT16, ScalarKind.INT32):
+        return decoder.unpack_int32()
+    return decoder.unpack_uint32()

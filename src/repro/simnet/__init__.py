@@ -1,0 +1,34 @@
+"""Simulated distributed substrate: clock, cost model, network, sites.
+
+The paper's testbed was a set of Sun SPARC stations on a 10 Mbps
+Ethernet.  This package replaces that hardware with a deterministic
+simulation: a :class:`~repro.simnet.clock.SimClock` advanced by a
+:class:`~repro.simnet.clock.CostModel`, a
+:class:`~repro.simnet.network.Network`
+that delivers :class:`~repro.simnet.message.Message` objects between
+:class:`~repro.simnet.network.Site` endpoints while charging latency and
+bandwidth, and a :class:`~repro.simnet.stats.StatsCollector` that counts the
+quantities the paper's figures report (messages, bytes, callbacks, page
+faults).
+
+Everything in the reproduction is synchronous — the paper's execution
+model has exactly one active thread per RPC session — so message
+"delivery" is an ordinary function call into the destination site's
+handler, with simulated time charged before the call.
+"""
+
+from repro.simnet.clock import CostModel, SimClock
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.network import Network, Site
+from repro.simnet.stats import StatsCollector, TraceEvent
+
+__all__ = [
+    "CostModel",
+    "SimClock",
+    "Message",
+    "MessageKind",
+    "Network",
+    "Site",
+    "StatsCollector",
+    "TraceEvent",
+]

@@ -1,0 +1,100 @@
+"""Simulated clock and cost model.
+
+The reproduction reports *simulated seconds*.  The clock is advanced
+explicitly by the runtimes according to a :class:`CostModel` whose
+constants approximate the paper's testbed: Sun SPARC stations (28.5
+MIPS) on a 10 Mbps Ethernet using TCP with ``TCP_NODELAY``.
+
+The calibration used for the figures lives in
+:mod:`repro.bench.calibration`; the defaults here are the same values so
+that library users get paper-scale numbers out of the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Time charges (in seconds) for the simulated testbed.
+
+    Attributes:
+        message_latency: fixed cost per network message (propagation,
+            interrupt handling, protocol stack traversal).  A small RPC is
+            two messages (request + reply).
+        byte_wire: transmission time per byte on the wire
+            (10 Mbps -> 0.8 microseconds per byte).
+        byte_codec: CPU time per byte to XDR-encode *or* decode data,
+            including the representation conversion the paper charges for
+            heterogeneity.
+        page_fault: cost of one access-violation trap plus user-level
+            handler dispatch and the mprotect-style remap afterwards.
+        local_access: cost of one program-level memory access once data is
+            resident (the paper's point is that this equals ordinary local
+            access cost).
+        visit_compute: per-node computation in the workload body
+            (comparisons, bookkeeping) besides its memory accesses.
+        malloc_op: CPU cost of one heap allocate/release operation.
+    """
+
+    message_latency: float = 50e-6
+    byte_wire: float = 0.8e-6
+    byte_codec: float = 0.9e-6
+    page_fault: float = 40e-6
+    local_access: float = 0.35e-6
+    visit_compute: float = 1.2e-6
+    malloc_op: float = 6e-6
+
+    def message_cost(self, payload_bytes: int) -> float:
+        """Wire time for one message carrying ``payload_bytes``."""
+        return self.message_latency + payload_bytes * self.byte_wire
+
+    def codec_cost(self, payload_bytes: int) -> float:
+        """CPU time to encode or decode ``payload_bytes`` once."""
+        return payload_bytes * self.byte_codec
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    All runtimes participating in a simulation share one clock, which is
+    consistent with the paper's single-active-thread execution model: at
+    any instant exactly one thread is running somewhere in the session,
+    so global time is just the sum of everything that thread did.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Advance the clock; ``seconds`` must be non-negative."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self._now += seconds
+
+    def reset(self) -> None:
+        """Rewind to time zero (used between benchmark repetitions)."""
+        self._now = 0.0
+
+
+class Stopwatch:
+    """Measures an interval of simulated time against a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now
+
+    def restart(self) -> None:
+        """Begin a new interval at the current instant."""
+        self._start = self._clock.now
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since construction or the last restart."""
+        return self._clock.now - self._start

@@ -1,0 +1,242 @@
+"""The simulated network and its endpoints.
+
+A :class:`Network` connects :class:`Site` endpoints.  Sending a message
+charges simulated time (latency + bandwidth) to the shared clock and
+then synchronously invokes the destination site's handler for the
+message kind.  Handlers return a reply payload where the protocol calls
+for one; the reply is itself charged as a message.
+
+Synchronous delivery is faithful to the paper's model: an RPC session
+has exactly one active thread, so the sender is always blocked while
+the receiver works.
+
+The network is reliable by default (the paper's evaluation assumes a
+quiet Ethernet).  Constructing it with a nonzero ``loss_rate`` makes
+delivery lossy and deterministic (seeded): exchanges then run the
+classic Birrell-Nelson machinery — timeout, retransmission, and
+at-most-once execution via a per-site duplicate cache keyed by
+exchange id, so a handler's side effects happen exactly once per
+logical send however many retransmissions it takes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.simnet.clock import CostModel, SimClock
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.stats import StatsCollector
+
+Handler = Callable[[Message], bytes]
+
+_MAX_ATTEMPTS = 24
+_REPLY_CACHE_LIMIT = 4096
+_exchange_ids = itertools.count(1)
+
+
+class NetworkError(Exception):
+    """Raised for malformed network usage (unknown site, no handler)."""
+
+
+class TransportError(NetworkError):
+    """An exchange failed even after every retransmission."""
+
+
+class Site:
+    """One endpoint (machine + process) on the simulated network.
+
+    A site is identified by its ``site_id`` string — the paper's
+    "address space identifier (typically a pair consisting of a site ID
+    and a process ID)".  Runtimes register one handler per message kind.
+    """
+
+    def __init__(self, site_id: str, network: "Network") -> None:
+        self.site_id = site_id
+        self.network = network
+        self._handlers: Dict[MessageKind, Handler] = {}
+        self._reply_cache: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def register_handler(self, kind: MessageKind, handler: Handler) -> None:
+        """Install ``handler`` for incoming messages of ``kind``."""
+        self._handlers[kind] = handler
+
+    def handle(self, message: Message) -> bytes:
+        """Dispatch an incoming message to its registered handler."""
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            raise NetworkError(
+                f"site {self.site_id!r} has no handler for {message.kind}"
+            )
+        return handler(message)
+
+    def handle_at_most_once(self, exchange_id: int, message: Message) -> bytes:
+        """Dispatch, executing the handler at most once per exchange.
+
+        A retransmitted request (same exchange id) returns the cached
+        reply without re-running the handler — the receiver half of
+        at-most-once RPC semantics.
+        """
+        cached = self._reply_cache.get(exchange_id)
+        if cached is not None:
+            return cached
+        reply = self.handle(message)
+        self._reply_cache[exchange_id] = reply
+        while len(self._reply_cache) > _REPLY_CACHE_LIMIT:
+            self._reply_cache.popitem(last=False)
+        return reply
+
+    def send(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        reply_kind: Optional[MessageKind] = None,
+    ) -> bytes:
+        """Send a message from this site; see :meth:`Network.send`."""
+        return self.network.send(self.site_id, dst, kind, payload, reply_kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Site({self.site_id!r})"
+
+
+class Network:
+    """A deterministic point-to-point network with a shared cost model."""
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[StatsCollector] = None,
+        loss_rate: float = 0.0,
+        loss_seed: int = 0,
+        retransmit_timeout: float = 2e-3,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"bad loss rate {loss_rate!r}")
+        self.clock = clock if clock is not None else SimClock()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.stats = stats if stats is not None else StatsCollector()
+        self.loss_rate = loss_rate
+        self.retransmit_timeout = retransmit_timeout
+        self._rng = random.Random(loss_seed)
+        self._sites: Dict[str, Site] = {}
+
+    def add_site(self, site_id: str) -> Site:
+        """Create and register a new endpoint."""
+        if site_id in self._sites:
+            raise NetworkError(f"duplicate site id {site_id!r}")
+        site = Site(site_id, self)
+        self._sites[site_id] = site
+        return site
+
+    def site(self, site_id: str) -> Site:
+        """Look up an endpoint by id."""
+        try:
+            return self._sites[site_id]
+        except KeyError:
+            raise NetworkError(f"unknown site {site_id!r}") from None
+
+    @property
+    def site_ids(self) -> list:
+        """All registered site ids, in registration order."""
+        return list(self._sites)
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        reply_kind: Optional[MessageKind] = None,
+    ) -> bytes:
+        """Deliver one message and, optionally, account its reply.
+
+        The destination handler runs synchronously and its return value
+        is the reply body.  When ``reply_kind`` is given the reply is
+        charged to the network as its own message; otherwise the handler
+        must return ``b""`` and no reply is charged (one-way message).
+
+        Under a lossy network the exchange retries with timeouts until
+        it completes; the handler's effects happen at most once.
+        """
+        if src not in self._sites:
+            raise NetworkError(f"unknown source site {src!r}")
+        destination = self.site(dst)
+        if self.loss_rate == 0.0:
+            # Reliable fast path: no exchange ids, no reply caching.
+            message = Message(src=src, dst=dst, kind=kind, payload=payload)
+            self._charge(message)
+            response = destination.handle(message)
+            if reply_kind is None:
+                if response:
+                    raise NetworkError(
+                        f"one-way {kind} message to {dst!r} produced "
+                        "a reply"
+                    )
+                return b""
+            reply = Message(
+                src=dst, dst=src, kind=reply_kind, payload=response
+            )
+            self._charge(reply)
+            return response
+        exchange_id = next(_exchange_ids)
+        for _ in range(_MAX_ATTEMPTS):
+            message = Message(src=src, dst=dst, kind=kind, payload=payload)
+            self._charge(message)
+            if self._lost():
+                self._timeout()
+                continue
+            response = destination.handle_at_most_once(
+                exchange_id, message
+            )
+            if reply_kind is None:
+                if response:
+                    raise NetworkError(
+                        f"one-way {kind} message to {dst!r} produced "
+                        "a reply"
+                    )
+                return b""
+            reply = Message(
+                src=dst, dst=src, kind=reply_kind, payload=response
+            )
+            self._charge(reply)
+            if self._lost():
+                self._timeout()
+                continue
+            return response
+        raise TransportError(
+            f"{kind} exchange {src!r}->{dst!r} failed after "
+            f"{_MAX_ATTEMPTS} attempts"
+        )
+
+    def multicast(self, src: str, kind: MessageKind, payload: bytes) -> None:
+        """Send a one-way message to every other site.
+
+        Used by the session-end invalidation step ("multicast a message
+        to the address spaces concerning the RPC session").
+        """
+        for site_id in self._sites:
+            if site_id != src:
+                self.send(src, site_id, kind, payload)
+
+    def _lost(self) -> bool:
+        return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
+
+    def _timeout(self) -> None:
+        self.clock.advance(self.retransmit_timeout)
+        self.stats.record_event(
+            self.clock.now, "timeout", "retransmitting"
+        )
+
+    def _charge(self, message: Message) -> None:
+        self.clock.advance(self.cost_model.message_cost(message.size))
+        self.stats.record_message(message)
+        self.stats.record_event(
+            self.clock.now,
+            "message",
+            f"{message.src}->{message.dst} {message.kind.value} "
+            f"{message.size}B",
+        )

@@ -1,0 +1,134 @@
+"""Statistics and tracing for simulated runs.
+
+The paper's evaluation reports processing time (Figs. 4, 6, 7) and the
+number of callbacks (Fig. 5).  :class:`StatsCollector` counts both plus
+the auxiliary quantities (bytes moved, page faults, write-backs) that
+EXPERIMENTS.md uses to explain the measured shapes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.simnet.message import Message, MessageKind
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped record in the simulation trace."""
+
+    time: float
+    category: str
+    detail: str
+
+
+class StatsCollector:
+    """Accumulates counters and (optionally) a full event trace.
+
+    One collector is shared by the network and every runtime in a
+    simulation.  Counters are cheap; the trace is off by default because
+    long benchmark runs would otherwise build million-entry lists.
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self._trace_enabled = trace
+        self.events: List[TraceEvent] = []
+        self.messages_by_kind: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+        self.page_faults = 0
+        self.write_faults = 0
+        self.pages_filled = 0
+        self.entries_transferred = 0
+        self.duplicate_entries = 0
+        self.write_backs = 0
+        self.invalidations = 0
+        self.remote_mallocs = 0
+        self.remote_frees = 0
+        self.batch_flushes = 0
+
+    # -- messages ---------------------------------------------------------
+
+    def record_message(self, message: Message) -> None:
+        """Count one sent message."""
+        self.messages_by_kind[message.kind] += 1
+        self.bytes_by_kind[message.kind] += message.size
+
+    @property
+    def total_messages(self) -> int:
+        """Number of messages sent, all kinds."""
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes sent, all kinds."""
+        return sum(self.bytes_by_kind.values())
+
+    @property
+    def callbacks(self) -> int:
+        """Data-request messages from a callee back to a data home.
+
+        This is the quantity the paper's Figure 5 plots: for the fully
+        lazy baseline it is one per pointer dereference; for the proposed
+        method it is one per faulted page.
+        """
+        return self.messages_by_kind[MessageKind.DATA_REQUEST]
+
+    # -- tracing ----------------------------------------------------------
+
+    def record_event(self, time: float, category: str, detail: str) -> None:
+        """Append a trace event if tracing is enabled."""
+        if self._trace_enabled:
+            self.events.append(TraceEvent(time, category, detail))
+
+    def events_in(self, category: str) -> Iterator[TraceEvent]:
+        """Iterate trace events of one category."""
+        return (event for event in self.events if event.category == category)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter and drop the trace."""
+        self.events.clear()
+        self.messages_by_kind.clear()
+        self.bytes_by_kind.clear()
+        self.page_faults = 0
+        self.write_faults = 0
+        self.pages_filled = 0
+        self.entries_transferred = 0
+        self.duplicate_entries = 0
+        self.write_backs = 0
+        self.invalidations = 0
+        self.remote_mallocs = 0
+        self.remote_frees = 0
+        self.batch_flushes = 0
+
+    def summary(self) -> str:
+        """Human-readable multi-line counter dump."""
+        lines = [
+            f"messages: {self.total_messages} ({self.total_bytes} bytes)",
+            f"callbacks (data requests): {self.callbacks}",
+            f"page faults: {self.page_faults} (write: {self.write_faults})",
+            f"entries transferred: {self.entries_transferred} "
+            f"(duplicates: {self.duplicate_entries})",
+            f"write-backs: {self.write_backs}, "
+            f"invalidations: {self.invalidations}",
+            f"remote mallocs: {self.remote_mallocs}, "
+            f"frees: {self.remote_frees}, "
+            f"batch flushes: {self.batch_flushes}",
+        ]
+        return "\n".join(lines)
+
+
+def merged_counter(collectors: List[StatsCollector]) -> Counter:
+    """Sum per-kind message counters across ``collectors``."""
+    total: Counter = Counter()
+    for collector in collectors:
+        total.update(collector.messages_by_kind)
+    return total
+
+
+def optional_stats(stats: Optional[StatsCollector]) -> StatsCollector:
+    """Return ``stats`` or a fresh throwaway collector."""
+    return stats if stats is not None else StatsCollector()

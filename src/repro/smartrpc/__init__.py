@@ -1,0 +1,45 @@
+"""Smart RPC: transparent treatment of remote pointers.
+
+This is the paper's contribution, layered on the conventional RPC
+substrate (:mod:`repro.rpc`):
+
+* :class:`~repro.smartrpc.long_pointer.LongPointer` — the
+  ``(address-space id, address, data-type specifier)`` triple that
+  extends pointers across the distributed system;
+* :class:`~repro.smartrpc.alloc_table.DataAllocationTable` — the paper's
+  Table 1: which long pointer each (page, offset) of the cache area
+  stands for;
+* :class:`~repro.smartrpc.cache.CacheManager` — protected page areas,
+  fill-on-fault, read-only remap and page-grain dirty detection;
+* :class:`~repro.smartrpc.swizzle.Swizzler` — long pointer <-> ordinary
+  pointer translation;
+* :class:`~repro.smartrpc.closure.ClosureWalker` — bounded breadth-first
+  transitive closure for eager transfer;
+* :mod:`repro.smartrpc.transfer` — the data-plane wire protocol
+  (requests, batches, write-back);
+* :class:`~repro.smartrpc.remote_heap.RemoteHeap` — ``extended_malloc``
+  / ``extended_free`` with batched remote operations;
+* :class:`~repro.smartrpc.runtime.SmartRpcRuntime` — the runtime tying
+  everything together, including the session coherency protocol.
+"""
+
+from repro.smartrpc.alloc_table import AllocEntry, DataAllocationTable
+from repro.smartrpc.errors import (
+    DanglingPointerError,
+    SmartRpcError,
+    SwizzleError,
+)
+from repro.smartrpc.long_pointer import NULL_POINTER, LongPointer
+from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+__all__ = [
+    "AllocEntry",
+    "DataAllocationTable",
+    "DanglingPointerError",
+    "LongPointer",
+    "NULL_POINTER",
+    "SmartRpcError",
+    "SmartRpcRuntime",
+    "SmartSessionState",
+    "SwizzleError",
+]

@@ -1,0 +1,167 @@
+"""The data allocation table (paper §3.2, Table 1).
+
+Per address space and session, the runtime "maintains a data allocation
+table that records what data should be transferred from remote address
+spaces.  The entries of the table are the page number, the offset
+within the page, and a long pointer."
+
+This implementation additionally tracks each entry's local size and
+residency, and provides the two lookups the method needs constantly:
+
+* by long pointer — "has this remote datum already been swizzled here?"
+  (the caching effect);
+* by local address — unswizzling an ordinary pointer back to its long
+  pointer;
+* by page — "which data are allocated to the faulted page?".
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.smartrpc.errors import SmartRpcError
+from repro.smartrpc.long_pointer import LongPointer
+
+
+@dataclass(eq=False)
+class AllocEntry:
+    """One row of the data allocation table.
+
+    Identity-hashed (``eq=False``): two rows are the same row only if
+    they are the same object, which lets sets of entries (the relayed
+    modified-data-set) survive provisional-pointer repointing.
+    """
+
+    pointer: LongPointer
+    local_address: int
+    size: int
+    page_number: int
+    offset: int
+    resident: bool = False
+
+    @property
+    def end(self) -> int:
+        """One past the entry's last local byte."""
+        return self.local_address + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether a local address falls inside this entry."""
+        return self.local_address <= address < self.end
+
+
+@dataclass
+class _PageIndex:
+    entries: List[AllocEntry] = field(default_factory=list)
+
+
+class DataAllocationTable:
+    """The per-space, per-session data allocation table."""
+
+    def __init__(self) -> None:
+        self._by_pointer: Dict[LongPointer, AllocEntry] = {}
+        self._by_page: Dict[int, _PageIndex] = {}
+        self._sorted_addresses: List[int] = []
+        self._by_address: Dict[int, AllocEntry] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, entry: AllocEntry) -> None:
+        """Insert a new row; the long pointer must be new."""
+        if entry.pointer in self._by_pointer:
+            raise SmartRpcError(
+                f"allocation table already has {entry.pointer!r}"
+            )
+        if entry.local_address in self._by_address:
+            raise SmartRpcError(
+                f"allocation table already maps local address "
+                f"{entry.local_address:#x}"
+            )
+        self._by_pointer[entry.pointer] = entry
+        self._by_page.setdefault(
+            entry.page_number, _PageIndex()
+        ).entries.append(entry)
+        bisect.insort(self._sorted_addresses, entry.local_address)
+        self._by_address[entry.local_address] = entry
+
+    def remove(self, entry: AllocEntry) -> None:
+        """Delete a row (extended_free of a cached datum)."""
+        stored = self._by_pointer.pop(entry.pointer, None)
+        if stored is not entry:
+            raise SmartRpcError(
+                f"allocation table does not hold {entry.pointer!r}"
+            )
+        page = self._by_page[entry.page_number]
+        page.entries.remove(entry)
+        if not page.entries:
+            del self._by_page[entry.page_number]
+        index = bisect.bisect_left(
+            self._sorted_addresses, entry.local_address
+        )
+        del self._sorted_addresses[index]
+        del self._by_address[entry.local_address]
+
+    def repoint(self, entry: AllocEntry, pointer: LongPointer) -> None:
+        """Replace an entry's long pointer (provisional -> real address).
+
+        The local placeholder does not move: ordinary pointers already
+        swizzled into memory stay valid, only the table row changes.
+        """
+        if pointer in self._by_pointer:
+            raise SmartRpcError(
+                f"allocation table already has {pointer!r}"
+            )
+        if self._by_pointer.pop(entry.pointer, None) is not entry:
+            raise SmartRpcError(
+                f"allocation table does not hold {entry.pointer!r}"
+            )
+        entry.pointer = pointer
+        self._by_pointer[pointer] = entry
+
+    # -- lookups --------------------------------------------------------------
+
+    def entry_for(self, pointer: LongPointer) -> Optional[AllocEntry]:
+        """The row for a long pointer, if already swizzled here."""
+        return self._by_pointer.get(pointer)
+
+    def entry_containing(self, local_address: int) -> Optional[AllocEntry]:
+        """The row whose placeholder contains a local address."""
+        index = bisect.bisect_right(self._sorted_addresses, local_address)
+        if index == 0:
+            return None
+        entry = self._by_address[self._sorted_addresses[index - 1]]
+        return entry if entry.contains(local_address) else None
+
+    def entries_on_page(self, page_number: int) -> List[AllocEntry]:
+        """All rows on one cache page."""
+        page = self._by_page.get(page_number)
+        return list(page.entries) if page is not None else []
+
+    def pages(self) -> List[int]:
+        """All cache pages with at least one row."""
+        return sorted(self._by_page)
+
+    def __len__(self) -> int:
+        return len(self._by_pointer)
+
+    def __iter__(self):
+        return iter(self._by_pointer.values())
+
+    # -- presentation (the paper's Table 1) -----------------------------------
+
+    def rows(self) -> List[tuple]:
+        """(page, offset, long pointer) rows, sorted — Table 1's shape."""
+        rows = [
+            (entry.page_number, entry.offset, entry.pointer)
+            for entry in self._by_pointer.values()
+        ]
+        rows.sort(key=lambda row: (row[0], row[1]))
+        return rows
+
+    def format_table(self) -> str:
+        """Render the table like the paper's Table 1."""
+        lines = ["page #  offset within the page  long pointer"]
+        for page_number, offset, pointer in self.rows():
+            lines.append(f"{page_number:<7} {offset:<23} {pointer!r}")
+        return "\n".join(lines)

@@ -1,0 +1,402 @@
+"""The cache area: protected page allocation, fill-on-fault, dirtiness.
+
+This module implements the virtual-memory half of the method:
+
+* when a long pointer is swizzled and its data is not yet local, a
+  placeholder is carved out of a *protected page area*
+  (:data:`~repro.memory.page.Protection.NONE`) — "the page contains no
+  data at this time" (paper §3.2);
+* the first access faults; the handler requests from the home space
+  **every datum allocated to the faulted page** that is not yet
+  resident, "because once the access protection of the page is
+  released, the first access to the other data in the page can no
+  longer be detected";
+* a fully resident page is remapped read-only, so the first *write*
+  faults once more and marks the page dirty — the coherency protocol's
+  page-grain modification detection (paper §3.4);
+* placeholder placement follows the paper's heuristic: all data in a
+  page originates from a single address space (§6 discusses this
+  choice; the ``mixed`` strategy exists for the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.memory.faults import AccessViolation, FaultKind
+from repro.memory.page import Protection
+from repro.smartrpc.alloc_table import AllocEntry, DataAllocationTable
+from repro.smartrpc.errors import SmartRpcError
+from repro.smartrpc.long_pointer import LongPointer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+SINGLE_HOME = "single_home"
+MIXED = "mixed"
+ISOLATED = "isolated"
+PACKED = "packed"
+STRATEGIES = (SINGLE_HOME, MIXED, ISOLATED, PACKED)
+_FRESH = "fresh"
+_REMOTE = "remote"
+
+
+@dataclass
+class PageState:
+    """Cache-side bookkeeping of one mapped cache page."""
+
+    number: int
+    home: Optional[str]
+    bump: int = 0
+    closed: bool = False
+    dirty: bool = False
+    entries: List[AllocEntry] = field(default_factory=list)
+    span_of: Optional[AllocEntry] = None
+
+    @property
+    def resident_count(self) -> int:
+        """Resident entries on this page."""
+        return sum(1 for entry in self.entries if entry.resident)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every entry on the page is resident."""
+        return all(entry.resident for entry in self.entries)
+
+
+class CacheManager:
+    """Manages one session's cache area in one address space."""
+
+    def __init__(
+        self,
+        runtime: "SmartRpcRuntime",
+        state: "SmartSessionState",
+        strategy: str = SINGLE_HOME,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise SmartRpcError(f"unknown allocation strategy {strategy!r}")
+        self.runtime = runtime
+        self.state = state
+        self.strategy = strategy
+        self.table = DataAllocationTable()
+        self._pages: Dict[int, PageState] = {}
+        # Open pages accepting new placeholders, keyed by
+        # (allocation class, home) — home collapses to "" under MIXED.
+        self._open_pages: Dict[Tuple[str, str], PageState] = {}
+        self.dirty_pages: Set[int] = set()
+
+    # -- small accessors ------------------------------------------------------
+
+    @property
+    def space(self):
+        """The owning address space."""
+        return self.runtime.space
+
+    @property
+    def page_size(self) -> int:
+        """Cache page size (the space's page size)."""
+        return self.runtime.space.page_size
+
+    def page_state(self, page_number: int) -> PageState:
+        """Bookkeeping for one cache page."""
+        try:
+            return self._pages[page_number]
+        except KeyError:
+            raise SmartRpcError(
+                f"page {page_number} is not a cache page of session "
+                f"{self.state.session_id!r}"
+            ) from None
+
+    def owns_page(self, page_number: int) -> bool:
+        """Whether the page belongs to this session's cache area."""
+        return page_number in self._pages
+
+    # -- placeholder allocation -----------------------------------------------
+
+    def ensure_entry(self, pointer: LongPointer) -> AllocEntry:
+        """The table row for ``pointer``, allocating a placeholder if new.
+
+        This is the allocation step of swizzling: "when the callee
+        receives a long pointer from the caller, the callee allocates
+        for the referenced data a protected page area."
+        """
+        entry = self.table.entry_for(pointer)
+        if entry is not None:
+            return entry
+        spec = self.runtime.resolver.resolve(pointer.type_id)
+        size = spec.sizeof(self.runtime.arch)
+        alignment = min(spec.alignment(self.runtime.arch), 8)
+        return self._allocate(
+            pointer,
+            size,
+            alignment,
+            allocation_class=_REMOTE,
+            resident=False,
+        )
+
+    def allocate_fresh(self, pointer: LongPointer, size: int) -> AllocEntry:
+        """A resident, writable entry for ``extended_malloc`` data.
+
+        Freshly allocated remote data has no original contents to
+        fetch, so its page is mapped read-write and marked dirty from
+        birth: the new contents must reach the home space through the
+        coherency protocol.
+        """
+        entry = self._allocate(
+            pointer,
+            size,
+            alignment=8,
+            allocation_class=_FRESH,
+            resident=True,
+        )
+        for number in self._entry_pages(entry):
+            state = self._pages[number]
+            state.dirty = True
+            self.dirty_pages.add(number)
+            self.space.protect(number, Protection.READ_WRITE)
+        return entry
+
+    def _allocate(
+        self,
+        pointer: LongPointer,
+        size: int,
+        alignment: int,
+        allocation_class: str,
+        resident: bool,
+    ) -> AllocEntry:
+        if size > self.page_size:
+            return self._allocate_span(pointer, size, resident)
+        if self.strategy == ISOLATED:
+            # Fully lazy baseline: one datum per page, so every first
+            # access to every datum faults individually (a callback
+            # per dereferenced pointer, as in the paper's §2 baseline).
+            return self._allocate_isolated(pointer, size, resident)
+        home = "" if self.strategy == MIXED else pointer.space_id
+        key = (allocation_class, home)
+        page = self._open_pages.get(key)
+        if page is not None:
+            offset = _round_up(page.bump, alignment)
+            if page.closed or offset + size > self.page_size:
+                page = None
+        if page is None:
+            page = self._map_page(home if home else None)
+            self._open_pages[key] = page
+            offset = 0
+        else:
+            offset = _round_up(page.bump, alignment)
+        entry = AllocEntry(
+            pointer=pointer,
+            local_address=page.number * self.page_size + offset,
+            size=size,
+            page_number=page.number,
+            offset=offset,
+            resident=resident,
+        )
+        page.bump = offset + size
+        page.entries.append(entry)
+        self.table.add(entry)
+        return entry
+
+    def _allocate_isolated(
+        self, pointer: LongPointer, size: int, resident: bool
+    ) -> AllocEntry:
+        page = self._map_page(pointer.space_id)
+        page.closed = True
+        entry = AllocEntry(
+            pointer=pointer,
+            local_address=page.number * self.page_size,
+            size=size,
+            page_number=page.number,
+            offset=0,
+            resident=resident,
+        )
+        page.bump = size
+        page.entries.append(entry)
+        self.table.add(entry)
+        return entry
+
+    def _allocate_span(
+        self, pointer: LongPointer, size: int, resident: bool
+    ) -> AllocEntry:
+        pages = -(-size // self.page_size)
+        base = self.space.map_region(pages, Protection.NONE)
+        first = base // self.page_size
+        entry = AllocEntry(
+            pointer=pointer,
+            local_address=base,
+            size=size,
+            page_number=first,
+            offset=0,
+            resident=resident,
+        )
+        for index in range(pages):
+            number = first + index
+            state = PageState(
+                number, pointer.space_id, closed=True, span_of=entry
+            )
+            state.entries.append(entry)
+            self._pages[number] = state
+            self.runtime.register_cache_page(number, self)
+        self.table.add(entry)
+        if resident:
+            self._maybe_release(first)
+        return entry
+
+    def _map_page(self, home: Optional[str]) -> PageState:
+        base = self.space.map_region(1, Protection.NONE)
+        number = base // self.page_size
+        state = PageState(number, home)
+        self._pages[number] = state
+        self.runtime.register_cache_page(number, self)
+        return state
+
+    def _entry_pages(self, entry: AllocEntry) -> List[int]:
+        first = entry.page_number
+        last = (entry.end - 1) // self.page_size
+        return list(range(first, last + 1))
+
+    def finish_datum(self) -> None:
+        """Seal open pages after one datum's pointers were swizzled.
+
+        The paper's Figure 2 shows pointers arriving *together* sharing
+        a protected page; the default strategies group per arriving
+        datum — the frontier children swizzled out of one transferred
+        value share placeholder pages, and the next value's children
+        start fresh ones.  The grouping is a locality heuristic: data
+        co-allocated on a page is data discovered together, so a fault
+        on the page requests siblings that the program is likely to
+        touch together.  It is also what makes the closure-size-0
+        configuration degrade toward the fully lazy behaviour (a fault
+        fetches one sibling group, not an accidentally-batched whole
+        BFS level).
+
+        The ``packed`` strategy skips this and packs a whole transfer
+        batch's frontier onto shared pages instead — fewer, fuller
+        pages at the price of coarser fills (the working-set-versus-
+        communication-count tradeoff of the paper's §6); it seals at
+        :meth:`finish_batch`.
+        """
+        if self.strategy != PACKED:
+            self._open_pages.clear()
+
+    def finish_batch(self) -> None:
+        """Seal open pages at the end of one whole transfer batch."""
+        self._open_pages.clear()
+
+    # -- fault handling -------------------------------------------------------
+
+    def handle_fault(self, fault: AccessViolation) -> None:
+        """The user-level access-violation handler for cache pages."""
+        page = self.page_state(fault.page_number)
+        protection = self.space.protection_of(fault.page_number)
+        if protection is Protection.NONE:
+            self._fill(page)
+        if fault.kind is FaultKind.WRITE:
+            self.mark_dirty_page(fault.page_number)
+        self.runtime.clock.advance(self.runtime.cost_model.page_fault)
+
+    def _fill(self, page: PageState) -> None:
+        """Transfer every non-resident datum allocated to the page.
+
+        "All of the other data allocated to the page must be
+        transferred at this time" — grouped by home space; under the
+        single-home heuristic that is one request message.
+
+        The page is closed to further placeholder allocation first:
+        the arriving data's own pointer fields swizzle into *new*
+        placeholders, and letting those land on the page being filled
+        would keep it incomplete forever.
+        """
+        page.closed = True
+        wanted: Dict[str, List[LongPointer]] = {}
+        for entry in page.entries:
+            if not entry.resident:
+                wanted.setdefault(entry.pointer.space_id, []).append(
+                    entry.pointer
+                )
+        for home, pointers in wanted.items():
+            self.runtime.request_data(self.state, home, pointers)
+        missing = [e.pointer for e in page.entries if not e.resident]
+        if missing:
+            raise SmartRpcError(
+                f"home space failed to supply {missing!r} for page "
+                f"{page.number}"
+            )
+        self.runtime.stats.pages_filled += 1
+
+    # -- residency and dirtiness ----------------------------------------------
+
+    def mark_resident(self, entry: AllocEntry) -> None:
+        """Record arrival of an entry's data; release complete pages."""
+        if entry.resident:
+            return
+        entry.resident = True
+        for number in self._entry_pages(entry):
+            self._maybe_release(number)
+
+    def _maybe_release(self, page_number: int) -> None:
+        page = self._pages[page_number]
+        if not page.complete:
+            return
+        page.closed = True
+        if not page.dirty:
+            self.space.protect(page_number, Protection.READ)
+
+    def mark_dirty_page(self, page_number: int) -> None:
+        """First write detected: remap writable, join the dirty set."""
+        page = self.page_state(page_number)
+        if page.dirty:
+            return
+        if not page.complete:
+            raise SmartRpcError(
+                f"page {page_number} written before it was filled"
+            )
+        page.dirty = True
+        page.closed = True
+        self.dirty_pages.add(page_number)
+        self.space.protect(page_number, Protection.READ_WRITE)
+        self.runtime.stats.write_faults += 1
+
+    def dirty_entries(self) -> List[AllocEntry]:
+        """Entries of the modified data set, deduplicated across spans."""
+        seen = set()
+        out: List[AllocEntry] = []
+        for page_number in sorted(self.dirty_pages):
+            for entry in self._pages[page_number].entries:
+                key = id(entry)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(entry)
+        return out
+
+    # -- extended_free support ------------------------------------------------
+
+    def release_entry(self, entry: AllocEntry) -> None:
+        """Drop a cache entry (its placeholder bytes are abandoned).
+
+        The cache area is session-scoped, so placeholder space is not
+        recycled — it all disappears at invalidation.
+        """
+        self.table.remove(entry)
+        for number in self._entry_pages(entry):
+            page = self._pages[number]
+            if entry in page.entries:
+                page.entries.remove(entry)
+
+    # -- teardown -------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Unmap the whole cache area and clear the table."""
+        for number in list(self._pages):
+            self.space.unmap_page(number)
+            self.runtime.unregister_cache_page(number)
+        self._pages.clear()
+        self._open_pages.clear()
+        self.dirty_pages.clear()
+        self.table = DataAllocationTable()
+        self.runtime.stats.invalidations += 1
+
+
+def _round_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)

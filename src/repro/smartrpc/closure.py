@@ -1,0 +1,160 @@
+"""Bounded transitive-closure traversal for eager transfer (paper §3.3).
+
+When a home space serves a data request it does not send just the
+requested data: it traverses the transitive closure of the requested
+pointers breadth-first and includes everything it reaches until the
+*closure size* budget (bytes) is exhausted.  Closure size 0 degenerates
+to the fully lazy behaviour; an unbounded budget degenerates to the
+fully eager one — exactly the spectrum Figure 6 sweeps.
+
+The traversal follows only pointers whose targets live in this space's
+own heap.  A pointer into data this space merely *caches* from a third
+space is emitted as a long pointer for the requester to resolve against
+that third space, but its data cannot be served from here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set
+
+from repro.smartrpc.errors import DanglingPointerError, SmartRpcError
+from repro.smartrpc.long_pointer import LongPointer
+from repro.xdr.types import TypeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+BREADTH_FIRST = "bfs"
+DEPTH_FIRST = "dfs"
+
+
+class ClosureItem:
+    """One datum selected for transfer."""
+
+    __slots__ = ("pointer", "spec", "address")
+
+    def __init__(
+        self, pointer: LongPointer, spec: TypeSpec, address: int
+    ) -> None:
+        self.pointer = pointer
+        self.spec = spec
+        self.address = address
+
+
+class ClosureWalker:
+    """Walks a home space's heap from a set of requested pointers."""
+
+    def __init__(
+        self,
+        runtime: "SmartRpcRuntime",
+        state: "SmartSessionState",
+        budget_bytes: int,
+        order: str = BREADTH_FIRST,
+    ) -> None:
+        if order not in (BREADTH_FIRST, DEPTH_FIRST):
+            raise SmartRpcError(f"unknown closure order {order!r}")
+        if budget_bytes < 0:
+            raise SmartRpcError(f"bad closure budget {budget_bytes!r}")
+        self.runtime = runtime
+        self.state = state
+        self.budget_bytes = budget_bytes
+        self.order = order
+
+    def walk(self, roots: Sequence[LongPointer]) -> List[ClosureItem]:
+        """Select data to transfer: all roots, then closure to budget.
+
+        Requested roots are always included (the requester faulted on
+        them); traversal beyond the roots stops once the total size of
+        selected data exceeds the budget.  Admission happens when a
+        child is discovered; emission order is traversal order (level
+        by level for BFS, branch by branch for DFS).
+        """
+        items: List[ClosureItem] = []
+        seen: Set[LongPointer] = set()
+        queue: deque = deque()
+        total = 0
+        for root in roots:
+            if root in seen:
+                continue
+            seen.add(root)
+            queue.append(self._materialise(root))
+            total += queue[-1].spec.sizeof(self.runtime.arch)
+        budget_left = total < self.budget_bytes
+        while queue:
+            item = (
+                queue.popleft()
+                if self.order == BREADTH_FIRST
+                else queue.pop()
+            )
+            items.append(item)
+            if not budget_left:
+                continue
+            for child in self._children(item):
+                if child in seen:
+                    continue
+                candidate = self._materialise(child)
+                size = candidate.spec.sizeof(self.runtime.arch)
+                if total + size > self.budget_bytes:
+                    budget_left = False
+                    break
+                seen.add(child)
+                total += size
+                queue.append(candidate)
+        return items
+
+    # -- internals -----------------------------------------------------------
+
+    def _materialise(self, pointer: LongPointer) -> ClosureItem:
+        if pointer.space_id != self.runtime.site_id:
+            raise SmartRpcError(
+                f"{pointer!r} requested from non-home space "
+                f"{self.runtime.site_id!r}"
+            )
+        allocation = self.runtime.heap.allocation_at(pointer.address)
+        if allocation is None or allocation.address != pointer.address:
+            raise DanglingPointerError(
+                f"{pointer!r} does not reference a live allocation"
+            )
+        spec = self.runtime.resolver.resolve(pointer.type_id)
+        return ClosureItem(pointer, spec, pointer.address)
+
+    def _children(self, item: ClosureItem) -> List[LongPointer]:
+        """Long pointers of the item's locally-served children.
+
+        Programmer hints (paper §6: "suggestions provided by the
+        programmer") can restrict and order which pointer fields are
+        followed per type; unhinted types follow every pointer field.
+        """
+        offsets = None
+        hints = self.runtime.closure_hints
+        if hints is not None:
+            offsets = hints.pointer_offsets(
+                item.pointer.type_id, item.spec, self.runtime.arch
+            )
+        if offsets is None:
+            offsets = [
+                offset
+                for offset, _ in item.spec.pointer_fields(
+                    self.runtime.arch
+                )
+            ]
+        children: List[LongPointer] = []
+        for offset in offsets:
+            value = self.runtime.codec.read_pointer(item.address + offset)
+            child = self._resolve_child(value)
+            if child is not None:
+                children.append(child)
+        return children
+
+    def _resolve_child(self, value: int) -> Optional[LongPointer]:
+        if value == 0:
+            return None
+        allocation = self.runtime.heap.allocation_at(value)
+        if allocation is not None and allocation.address == value:
+            return LongPointer(
+                self.runtime.site_id, value, allocation.type_id
+            )
+        # A pointer into this space's *cache* of a third space: the
+        # requester must fetch it from that space; do not traverse.
+        return None

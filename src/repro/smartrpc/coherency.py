@@ -1,0 +1,163 @@
+"""The coherency protocol (paper §3.4).
+
+RPC's synchronous nature — one active thread per session, even across
+nested calls — means coherency need only be guaranteed *for the active
+thread*.  The protocol therefore ships the **modified data set** (all
+data on dirty cache pages, plus dirty data relayed from other spaces)
+whenever thread activity crosses address spaces: piggybacked on every
+call's arguments and every reply's results.
+
+At the end of the session the ground runtime
+
+1. writes every modified datum back to its original address space, and
+2. multicasts an invalidation so every participant drops its cached
+   data — remote pointers have no meaning after the session.
+
+No concurrency control appears anywhere, which is the paper's point of
+contrast with DSM systems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.simnet.message import Message, MessageKind
+from repro.smartrpc import transfer
+from repro.smartrpc.closure import ClosureItem
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+
+def modified_items(
+    runtime: "SmartRpcRuntime", state: "SmartSessionState"
+) -> List[ClosureItem]:
+    """The modified data set as transferable items."""
+    entries = []
+    seen = set()
+    for entry in state.cache.dirty_entries():
+        seen.add(entry)
+        entries.append(entry)
+    for entry in state.relayed_dirty:
+        if entry not in seen:
+            entries.append(entry)
+    items = []
+    for entry in entries:
+        if not entry.resident:
+            continue
+        spec = runtime.resolver.resolve(entry.pointer.type_id)
+        items.append(
+            ClosureItem(entry.pointer, spec, entry.local_address)
+        )
+    return items
+
+
+def encode_piggyback(
+    runtime: "SmartRpcRuntime", state: "SmartSessionState"
+) -> bytes:
+    """Build the per-activity-transfer piggyback.
+
+    Carries the sender's participant set (so the ground space ends the
+    session knowing *every* involved space, even ones it never called
+    directly) and the modified data set.
+    """
+    encoder = XdrEncoder()
+    participants = sorted(state.participants | {runtime.site_id})
+    encoder.pack_uint32(len(participants))
+    for participant in participants:
+        encoder.pack_string(participant)
+    encoder.pack_opaque(
+        transfer.encode_batch(runtime, state, modified_items(runtime, state))
+    )
+    return encoder.getvalue()
+
+
+def apply_piggyback(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    payload: bytes,
+) -> None:
+    """Apply an incoming piggyback (participants + modified data)."""
+    if not payload:
+        return
+    decoder = XdrDecoder(payload)
+    count = decoder.unpack_uint32()
+    for _ in range(count):
+        state.note_participant(decoder.unpack_string())
+    batch = decoder.unpack_opaque()
+    decoder.expect_done()
+    transfer.apply_batch(runtime, state, batch, overwrite=True)
+
+
+# -- session end --------------------------------------------------------------
+
+
+def end_session(
+    runtime: "SmartRpcRuntime", state: "SmartSessionState"
+) -> None:
+    """Ground-side session teardown: write back, invalidate, drop."""
+    runtime.flush_memory_batch(state)
+    _write_back(runtime, state)
+    for participant in sorted(state.participants):
+        if participant == runtime.site_id:
+            continue
+        encoder = XdrEncoder()
+        encoder.pack_string(state.session_id)
+        runtime.site.send(
+            participant, MessageKind.INVALIDATE, encoder.getvalue()
+        )
+    state.cache.invalidate()
+    state.relayed_dirty.clear()
+
+
+def _write_back(
+    runtime: "SmartRpcRuntime", state: "SmartSessionState"
+) -> None:
+    by_home: Dict[str, List[ClosureItem]] = {}
+    for item in modified_items(runtime, state):
+        by_home.setdefault(item.pointer.space_id, []).append(item)
+    for home, items in sorted(by_home.items()):
+        if home == runtime.site_id:
+            continue  # originals live here; nothing to ship
+        encoder = XdrEncoder()
+        encoder.pack_string(state.session_id)
+        encoder.pack_string(state.ground_site)
+        encoder.pack_opaque(transfer.encode_batch(runtime, state, items))
+        payload = encoder.getvalue()
+        runtime.clock.advance(runtime.cost_model.codec_cost(len(payload)))
+        runtime.site.send(
+            home,
+            MessageKind.WRITE_BACK,
+            payload,
+            reply_kind=MessageKind.WRITE_BACK_ACK,
+        )
+        runtime.stats.write_backs += 1
+
+
+def handle_write_back(
+    runtime: "SmartRpcRuntime", message: Message
+) -> bytes:
+    """Home-space side of write-back: update original data."""
+    runtime.clock.advance(
+        runtime.cost_model.codec_cost(len(message.payload))
+    )
+    decoder = XdrDecoder(message.payload)
+    session_id = decoder.unpack_string()
+    ground_site = decoder.unpack_string()
+    batch = decoder.unpack_opaque()
+    decoder.expect_done()
+    state = runtime.ensure_smart_session(session_id, ground_site)
+    transfer.apply_batch(runtime, state, batch, overwrite=True)
+    return b""
+
+
+def handle_invalidate(
+    runtime: "SmartRpcRuntime", message: Message
+) -> bytes:
+    """Participant side of the end-of-session invalidation multicast."""
+    decoder = XdrDecoder(message.payload)
+    session_id = decoder.unpack_string()
+    decoder.expect_done()
+    runtime.invalidate_session(session_id)
+    return b""

@@ -1,0 +1,21 @@
+"""Smart-RPC error types."""
+
+from repro.rpc.errors import RpcError
+
+
+class SmartRpcError(RpcError):
+    """Base class for smart-RPC failures."""
+
+
+class SwizzleError(SmartRpcError):
+    """A pointer could not be translated.
+
+    Typical causes: unswizzling an address that is neither a live heap
+    allocation nor a cache entry, or an *interior* pointer (the
+    reproduction supports long pointers to allocation bases only — a
+    documented simplification, see DESIGN.md).
+    """
+
+
+class DanglingPointerError(SmartRpcError):
+    """A long pointer references data its home space no longer holds."""

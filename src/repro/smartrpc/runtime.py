@@ -1,0 +1,245 @@
+"""The smart RPC runtime.
+
+:class:`SmartRpcRuntime` extends the conventional runtime with the
+paper's three techniques:
+
+* **virtual memory manipulation** — it owns the address space's fault
+  handler and dispatches cache-page faults to the owning session's
+  :class:`~repro.smartrpc.cache.CacheManager`;
+* **pointer swizzling** — it replaces the pointer marshalling hooks, so
+  pointers pass freely as arguments, results, and fields;
+* **coherency protocol** — it piggybacks the modified data set on every
+  activity transfer and performs write-back + invalidation at session
+  end.
+
+It also serves the data plane (fault-driven requests with eager
+closure) and implements ``extended_malloc`` / ``extended_free``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.faults import AccessViolation
+from repro.namesvc.client import TypeResolver
+from repro.rpc import marshal
+from repro.rpc.errors import SessionError
+from repro.rpc.runtime import RpcRuntime
+from repro.rpc.session import SessionState
+from repro.simnet.message import MessageKind
+from repro.simnet.network import Network, Site
+from repro.smartrpc import coherency, remote_heap, transfer
+from repro.smartrpc.alloc_table import AllocEntry
+from repro.smartrpc.cache import SINGLE_HOME, CacheManager
+from repro.smartrpc.closure import BREADTH_FIRST
+from repro.smartrpc.errors import SmartRpcError
+from repro.smartrpc.hints import ClosureHints
+from repro.smartrpc.long_pointer import (
+    LongPointer,
+    decode_long_pointer,
+    encode_long_pointer,
+)
+from repro.smartrpc.swizzle import Swizzler
+from repro.xdr.arch import Architecture
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+
+DEFAULT_CLOSURE_SIZE = 8192
+"""The paper's experimental default (§4.1, §4.3)."""
+
+
+class SmartSessionState(SessionState):
+    """Per-space session state: cache, swizzler, batches, dirty relay."""
+
+    def __init__(
+        self,
+        session_id: str,
+        ground_site: str,
+        runtime: "SmartRpcRuntime",
+    ) -> None:
+        super().__init__(session_id, ground_site)
+        self.cache = CacheManager(
+            runtime, self, strategy=runtime.allocation_strategy
+        )
+        self.swizzler = Swizzler(runtime, self)
+        self.relayed_dirty: Set[AllocEntry] = set()
+        self.pending_allocs: List[AllocEntry] = []
+        self.pending_frees: List[LongPointer] = []
+
+
+class SmartRpcRuntime(RpcRuntime):
+    """RPC runtime with transparent remote pointers."""
+
+    def __init__(
+        self,
+        network: Network,
+        site: Site,
+        arch: Architecture,
+        resolver: Optional[TypeResolver] = None,
+        space: Optional[AddressSpace] = None,
+        closure_size: int = DEFAULT_CLOSURE_SIZE,
+        allocation_strategy: str = SINGLE_HOME,
+        closure_order: str = BREADTH_FIRST,
+        batch_memory_ops: bool = True,
+        closure_hints: Optional["ClosureHints"] = None,
+    ) -> None:
+        super().__init__(network, site, arch, resolver=resolver, space=space)
+        if closure_size < 0:
+            raise SmartRpcError(f"bad closure size {closure_size!r}")
+        self.closure_size = closure_size
+        self.allocation_strategy = allocation_strategy
+        self.closure_order = closure_order
+        self.batch_memory_ops = batch_memory_ops
+        self.closure_hints = closure_hints
+        self._page_cache: Dict[int, CacheManager] = {}
+        self.space.set_fault_handler(self._handle_fault)
+        site.register_handler(
+            MessageKind.DATA_REQUEST,
+            lambda message: transfer.handle_data_request(self, message),
+        )
+        site.register_handler(
+            MessageKind.WRITE_BACK,
+            lambda message: coherency.handle_write_back(self, message),
+        )
+        site.register_handler(
+            MessageKind.INVALIDATE,
+            lambda message: coherency.handle_invalidate(self, message),
+        )
+        site.register_handler(
+            MessageKind.MEMORY_BATCH,
+            lambda message: remote_heap.handle_memory_batch(self, message),
+        )
+
+    # -- cache page fault dispatch --------------------------------------------
+
+    def register_cache_page(
+        self, page_number: int, cache: CacheManager
+    ) -> None:
+        """Route faults on ``page_number`` to ``cache``."""
+        self._page_cache[page_number] = cache
+
+    def unregister_cache_page(self, page_number: int) -> None:
+        """Stop routing faults for an unmapped cache page."""
+        self._page_cache.pop(page_number, None)
+
+    def _handle_fault(self, fault: AccessViolation) -> None:
+        cache = self._page_cache.get(fault.page_number)
+        if cache is None:
+            # Not a cache page: a genuine protection bug — surface it.
+            raise fault
+        cache.handle_fault(fault)
+
+    # -- session plumbing -----------------------------------------------------
+
+    def _make_session_state(
+        self, session_id: str, ground_site: str
+    ) -> SmartSessionState:
+        return SmartSessionState(session_id, ground_site, self)
+
+    def ensure_smart_session(
+        self, session_id: str, ground_site: str
+    ) -> SmartSessionState:
+        """Typed access to (or lazy creation of) a session's state."""
+        state = self._ensure_session(session_id, ground_site)
+        if not isinstance(state, SmartSessionState):
+            raise SessionError(
+                f"session {session_id!r} is not a smart-RPC session"
+            )
+        return state
+
+    def _teardown_session(self, state: SessionState) -> None:
+        assert isinstance(state, SmartSessionState)
+        coherency.end_session(self, state)
+
+    def invalidate_session(self, session_id: str) -> None:
+        """Drop a session on the invalidation multicast."""
+        state = self._sessions.pop(session_id, None)
+        if state is None:
+            return
+        state.closed = True
+        if isinstance(state, SmartSessionState):
+            state.cache.invalidate()
+            state.relayed_dirty.clear()
+
+    # -- coherency / memory-batch piggyback -----------------------------------
+
+    def _make_piggyback(self, state: SessionState, dst: str) -> bytes:
+        assert isinstance(state, SmartSessionState)
+        remote_heap.flush(self, state)
+        return coherency.encode_piggyback(self, state)
+
+    def _apply_piggyback(
+        self, state: SessionState, src: str, data: bytes
+    ) -> None:
+        assert isinstance(state, SmartSessionState)
+        coherency.apply_piggyback(self, state, data)
+
+    def flush_memory_batch(self, state: SmartSessionState) -> None:
+        """Flush pending extended_malloc/free operations now."""
+        remote_heap.flush(self, state)
+
+    # -- pointer marshalling hooks --------------------------------------------
+
+    def _bind_pointer_out(self, state: SessionState) -> marshal.PointerOut:
+        assert isinstance(state, SmartSessionState)
+
+        def pointer_out(
+            encoder: XdrEncoder, pointer: int, _target_type_id: str
+        ) -> None:
+            long_pointer = state.swizzler.unswizzle(pointer)
+            if long_pointer is not None and long_pointer.is_provisional:
+                raise SmartRpcError(
+                    f"provisional {long_pointer!r} leaked into arguments; "
+                    "the memory batch must flush first"
+                )
+            encode_long_pointer(encoder, long_pointer)
+
+        return pointer_out
+
+    def _bind_pointer_in(self, state: SessionState) -> marshal.PointerIn:
+        assert isinstance(state, SmartSessionState)
+
+        def pointer_in(decoder: XdrDecoder, _target_type_id: str) -> int:
+            return state.swizzler.swizzle(decode_long_pointer(decoder))
+
+        return pointer_in
+
+    # -- data plane -----------------------------------------------------------
+
+    def request_data(
+        self,
+        state: SmartSessionState,
+        home: str,
+        pointers: List[LongPointer],
+    ) -> int:
+        """Fetch data (plus closure) from its home space."""
+        return transfer.request_data(self, state, home, pointers)
+
+    # -- the §3.5 primitives --------------------------------------------------
+
+    def extended_malloc(
+        self, session: Any, space_id: str, type_id: str
+    ) -> int:
+        """Allocate ``type_id`` data in ``space_id``; local pointer back.
+
+        ``session`` is anything exposing ``.state`` (an ``RpcSession``
+        or a ``CallContext``).
+        """
+        state = session.state
+        if not isinstance(state, SmartSessionState):
+            raise SessionError("extended_malloc needs a smart-RPC session")
+        pointer = remote_heap.extended_malloc(self, state, space_id, type_id)
+        if not self.batch_memory_ops:
+            # Ablation mode: the paper's rejected design — one remote
+            # message per allocation instead of batching.
+            remote_heap.flush(self, state)
+        return pointer
+
+    def extended_free(self, session: Any, pointer: int) -> None:
+        """Release the data referenced by ``pointer`` wherever it lives."""
+        state = session.state
+        if not isinstance(state, SmartSessionState):
+            raise SessionError("extended_free needs a smart-RPC session")
+        remote_heap.extended_free(self, state, pointer)
+        if not self.batch_memory_ops:
+            remote_heap.flush(self, state)

@@ -1,0 +1,81 @@
+"""Pointer swizzling and unswizzling (paper §3.2).
+
+*Unswizzling* translates an ordinary local pointer into a long pointer
+when data leaves the address space; *swizzling* translates a long
+pointer into an ordinary local address when data (or an argument)
+arrives.  The translations consult, in order,
+
+1. the session's data allocation table — the address is a cached copy
+   of remote data, so its long pointer is the table row's; and
+2. the local typed heap — the address is original local data, so the
+   long pointer is ``(this space, address, allocation's type id)``.
+
+Long pointers reference allocation bases; an interior pointer raises
+:class:`~repro.smartrpc.errors.SwizzleError` (documented simplification,
+see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.smartrpc.errors import DanglingPointerError, SwizzleError
+from repro.smartrpc.long_pointer import LongPointer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+
+class Swizzler:
+    """Pointer translation for one session in one address space."""
+
+    def __init__(
+        self, runtime: "SmartRpcRuntime", state: "SmartSessionState"
+    ) -> None:
+        self.runtime = runtime
+        self.state = state
+
+    def unswizzle(self, pointer: int) -> Optional[LongPointer]:
+        """Ordinary local pointer -> long pointer (NULL -> ``None``)."""
+        if pointer == 0:
+            return None
+        entry = self.state.cache.table.entry_containing(pointer)
+        if entry is not None:
+            if pointer != entry.local_address:
+                raise SwizzleError(
+                    f"interior pointer {pointer:#x} into cached "
+                    f"{entry.pointer!r} cannot be unswizzled"
+                )
+            return entry.pointer
+        allocation = self.runtime.heap.allocation_at(pointer)
+        if allocation is not None:
+            if pointer != allocation.address:
+                raise SwizzleError(
+                    f"interior pointer {pointer:#x} into local allocation "
+                    f"at {allocation.address:#x} cannot be unswizzled"
+                )
+            return LongPointer(
+                self.runtime.site_id, pointer, allocation.type_id
+            )
+        raise SwizzleError(
+            f"pointer {pointer:#x} in {self.runtime.site_id!r} is neither "
+            "cached remote data nor a live heap allocation"
+        )
+
+    def swizzle(self, pointer: Optional[LongPointer]) -> int:
+        """Long pointer -> ordinary local pointer (``None`` -> NULL).
+
+        For remote data this allocates (or reuses — the caching effect)
+        a protected placeholder; for data whose original lives here it
+        is simply the original address.
+        """
+        if pointer is None:
+            return 0
+        if pointer.space_id == self.runtime.site_id:
+            if not self.runtime.heap.owns(pointer.address):
+                raise DanglingPointerError(
+                    f"{pointer!r} does not reference live heap data in "
+                    f"its home space"
+                )
+            return pointer.address
+        return self.state.cache.ensure_entry(pointer).local_address

@@ -1,0 +1,271 @@
+"""The data-plane wire protocol: batches, requests, write-back.
+
+One *batch* format carries typed data everywhere data moves:
+
+* in a ``DATA_REPLY`` from a home space (fault-driven fill plus eager
+  closure),
+* piggybacked on every call and reply (the coherency protocol's
+  modified data set),
+* in a ``WRITE_BACK`` at session end.
+
+Batch layout (canonical XDR)::
+
+    string pool | item count | items...
+    item := pooled long pointer | canonical value bytes
+
+Pointer fields inside a value are pooled long pointers, unswizzled by
+the sender and swizzled by the receiver, so one transfer both fills
+data and extends the receiver's data allocation table with placeholder
+entries for the frontier — "the data allocated to a protected page
+area is transferred later when necessary".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.simnet.message import Message, MessageKind
+from repro.smartrpc.closure import ClosureItem, ClosureWalker
+from repro.smartrpc.errors import SmartRpcError
+from repro.smartrpc.long_pointer import (
+    LongPointer,
+    HandlePool,
+    decode_long_pointer_pooled,
+    encode_long_pointer_pooled,
+)
+from repro.xdr.errors import XdrError
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    OpaqueType,
+    PointerType,
+    ScalarType,
+    StructType,
+    TypeSpec,
+    UnionType,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+
+# -- batch encoding -----------------------------------------------------------
+
+
+def encode_batch(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    items: Sequence[ClosureItem],
+) -> bytes:
+    """Encode data items into one batch (no time charged here)."""
+    pool = HandlePool()
+    body = XdrEncoder()
+
+    def pointer_out(encoder: XdrEncoder, value: int, _target: str) -> None:
+        pointer = state.swizzler.unswizzle(value)
+        if pointer is not None and pointer.is_provisional:
+            raise SmartRpcError(
+                f"provisional {pointer!r} leaked onto the wire; the "
+                "memory batch must flush before any transfer"
+            )
+        encode_long_pointer_pooled(encoder, pointer, pool)
+
+    for item in items:
+        encode_long_pointer_pooled(body, item.pointer, pool)
+        runtime.codec.encode(
+            item.address,
+            item.spec,
+            body,
+            pointer_out=lambda value, target: pointer_out(
+                body, value, target
+            ),
+        )
+    head = XdrEncoder()
+    pool.encode(head)
+    head.pack_uint32(len(items))
+    return head.getvalue() + body.getvalue()
+
+
+def apply_batch(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    payload: bytes,
+    overwrite: bool,
+) -> int:
+    """Install a batch into this space; returns items applied.
+
+    ``overwrite=False`` is the fault-driven fill path: an item whose
+    placeholder is already resident is skipped (the caching effect —
+    and local modifications are never clobbered by stale home data).
+    ``overwrite=True`` is the coherency path: incoming data is strictly
+    newer (single active thread), so it always lands; items whose home
+    is *this* space update the original data itself.
+    """
+    decoder = XdrDecoder(payload)
+    pool = HandlePool.decode(decoder)
+    count = decoder.unpack_uint32()
+
+    def pointer_in(_target: str) -> int:
+        return state.swizzler.swizzle(
+            decode_long_pointer_pooled(decoder, pool)
+        )
+
+    applied = 0
+    for _ in range(count):
+        pointer = decode_long_pointer_pooled(decoder, pool)
+        if pointer is None:
+            raise SmartRpcError("batch item with NULL long pointer")
+        spec = runtime.resolver.resolve(pointer.type_id)
+        if pointer.space_id == runtime.site_id:
+            # We are the home: the batch updates original data.
+            if not runtime.heap.owns(pointer.address):
+                raise SmartRpcError(
+                    f"batch updates dead home data {pointer!r}"
+                )
+            runtime.codec.decode(
+                decoder, pointer.address, spec, pointer_in=pointer_in
+            )
+            applied += 1
+            runtime.stats.entries_transferred += 1
+            continue
+        entry = state.cache.ensure_entry(pointer)
+        if entry.resident and not overwrite:
+            skip_value(decoder, spec, pool)
+            runtime.stats.duplicate_entries += 1
+            continue
+        runtime.codec.decode(
+            decoder, entry.local_address, spec, pointer_in=pointer_in
+        )
+        state.cache.mark_resident(entry)
+        if overwrite:
+            # Dirty data stays part of the modified data set here too,
+            # so it keeps travelling with the thread of control.
+            state.relayed_dirty.add(entry)
+        applied += 1
+        runtime.stats.entries_transferred += 1
+        # One datum's frontier children share placeholder pages; the
+        # next datum's children start fresh ones (locality grouping).
+        state.cache.finish_datum()
+    decoder.expect_done()
+    state.cache.finish_batch()
+    return applied
+
+
+def skip_value(decoder: XdrDecoder, spec: TypeSpec, pool: HandlePool) -> None:
+    """Consume one canonical value without materialising it."""
+    if isinstance(spec, ScalarType):
+        decoder.unpack_fixed_opaque(spec.canonical_size())
+    elif isinstance(spec, OpaqueType):
+        decoder.unpack_fixed_opaque(spec.length)
+    elif isinstance(spec, PointerType):
+        decode_long_pointer_pooled(decoder, pool)
+    elif isinstance(spec, ArrayType):
+        for _ in range(spec.count):
+            skip_value(decoder, spec.element, pool)
+    elif isinstance(spec, StructType):
+        for field in spec.fields:
+            skip_value(decoder, field.spec, pool)
+    elif isinstance(spec, EnumType):
+        decoder.unpack_int32()
+    elif isinstance(spec, UnionType):
+        discriminant = decoder.unpack_int32()
+        skip_value(decoder, spec.arm_for(discriminant), pool)
+    else:
+        raise XdrError(f"cannot skip value of spec {spec!r}")
+
+
+# -- the data-request protocol ------------------------------------------------
+
+
+def request_data(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    home: str,
+    pointers: Sequence[LongPointer],
+) -> int:
+    """Fetch ``pointers`` (plus eager closure) from their home space.
+
+    This is the "callback" of the proposed method that Figure 5 counts:
+    one request per faulted page per home space.
+
+    The request names each datum by its bare home address: the home
+    space is the message destination and the data type is recorded in
+    the home's own typed heap, so neither travels.
+    """
+    encoder = XdrEncoder()
+    encoder.pack_string(state.session_id)
+    encoder.pack_string(state.ground_site)
+    encoder.pack_uint32(runtime.closure_size)
+    encoder.pack_uint32(len(pointers))
+    for pointer in pointers:
+        if pointer.space_id != home:
+            raise SmartRpcError(
+                f"{pointer!r} requested from {home!r}, not its home"
+            )
+        encoder.pack_uint64(pointer.address)
+    payload = encoder.getvalue()
+    runtime.clock.advance(runtime.cost_model.codec_cost(len(payload)))
+    reply = runtime.site.send(
+        home,
+        MessageKind.DATA_REQUEST,
+        payload,
+        reply_kind=MessageKind.DATA_REPLY,
+    )
+    runtime.clock.advance(runtime.cost_model.codec_cost(len(reply)))
+    decoder = XdrDecoder(reply)
+    status = decoder.unpack_uint32()
+    if status == _STATUS_ERROR:
+        raise SmartRpcError(
+            f"data request to {home!r} failed: {decoder.unpack_string()}"
+        )
+    batch = decoder.unpack_opaque()
+    decoder.expect_done()
+    return apply_batch(runtime, state, batch, overwrite=False)
+
+
+def handle_data_request(
+    runtime: "SmartRpcRuntime", message: Message
+) -> bytes:
+    """Home-space side: select the closure and ship it."""
+    runtime.clock.advance(
+        runtime.cost_model.codec_cost(len(message.payload))
+    )
+    decoder = XdrDecoder(message.payload)
+    session_id = decoder.unpack_string()
+    ground_site = decoder.unpack_string()
+    budget = decoder.unpack_uint32()
+    count = decoder.unpack_uint32()
+    addresses = [decoder.unpack_uint64() for _ in range(count)]
+    decoder.expect_done()
+    state = runtime.ensure_smart_session(session_id, ground_site)
+    state.note_participant(message.src)
+    encoder = XdrEncoder()
+    try:
+        roots = []
+        for address in addresses:
+            allocation = runtime.heap.allocation_at(address)
+            if allocation is None or allocation.address != address:
+                raise SmartRpcError(
+                    f"request for dead home data at {address:#x}"
+                )
+            roots.append(
+                LongPointer(runtime.site_id, address, allocation.type_id)
+            )
+        walker = ClosureWalker(
+            runtime, state, budget, order=runtime.closure_order
+        )
+        items = walker.walk(roots)
+        batch = encode_batch(runtime, state, items)
+    except SmartRpcError as exc:
+        encoder.pack_uint32(_STATUS_ERROR)
+        encoder.pack_string(str(exc))
+    else:
+        encoder.pack_uint32(_STATUS_OK)
+        encoder.pack_opaque(batch)
+    reply = encoder.getvalue()
+    runtime.clock.advance(runtime.cost_model.codec_cost(len(reply)))
+    return reply

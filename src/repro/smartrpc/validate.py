@@ -1,0 +1,144 @@
+"""Session-state invariant checking (debugging and test support).
+
+:func:`validate_session` asserts the internal consistency of one
+session's smart-RPC state: the data allocation table, the cache page
+bookkeeping and the page protections must all agree.  It is pure
+inspection — no simulated time is charged and nothing is modified —
+so tests (including the stateful property tests) can call it after
+every operation.
+
+The invariants, each traceable to the method's design:
+
+1. every table row lies inside a cache page owned by this session;
+2. a page's entry list and the table's page index agree;
+3. protection matches residency: a page with any non-resident entry is
+   inaccessible (``NONE``); a complete clean page is read-only; a
+   dirty page is read-write and fully resident (dirtiness is detected
+   by a write fault, which can only follow a complete fill);
+4. placeholders on one page never overlap;
+5. under the single-home strategy, all entries on a page share one
+   home space;
+6. the relayed modified-data-set only references live, resident
+   entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.memory.page import Protection
+from repro.smartrpc.errors import SmartRpcError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+
+
+class InvariantViolation(SmartRpcError):
+    """An internal-consistency invariant does not hold."""
+
+
+def validate_session(
+    runtime: "SmartRpcRuntime", state: "SmartSessionState"
+) -> List[str]:
+    """Check every invariant; returns the list of checks performed.
+
+    Raises :class:`InvariantViolation` on the first failure.
+    """
+    checks: List[str] = []
+    cache = state.cache
+    table = cache.table
+    space = runtime.space
+
+    # 1 + 2: rows within owned pages; indices agree.
+    for entry in table:
+        first = entry.local_address // space.page_size
+        last = (entry.end - 1) // space.page_size
+        for number in range(first, last + 1):
+            if not cache.owns_page(number):
+                raise InvariantViolation(
+                    f"{entry.pointer!r} placed on page {number} which "
+                    "the session does not own"
+                )
+            if entry not in cache.page_state(number).entries:
+                raise InvariantViolation(
+                    f"page {number} does not list {entry.pointer!r}"
+                )
+    checks.append("rows-within-owned-pages")
+
+    for number in table.pages():
+        listed = set(id(e) for e in cache.page_state(number).entries)
+        indexed = set(id(e) for e in table.entries_on_page(number))
+        if not indexed <= listed:
+            raise InvariantViolation(
+                f"table page index for {number} disagrees with the "
+                "page state"
+            )
+    checks.append("page-indices-agree")
+
+    # 3: protection matches residency and dirtiness.
+    for number, page in cache._pages.items():
+        protection = space.protection_of(number)
+        if page.dirty:
+            if protection is not Protection.READ_WRITE:
+                raise InvariantViolation(
+                    f"dirty page {number} is {protection}, not "
+                    "READ_WRITE"
+                )
+            if not page.complete:
+                raise InvariantViolation(
+                    f"dirty page {number} has non-resident entries"
+                )
+        elif page.entries and page.complete:
+            if protection is Protection.NONE and not page.closed:
+                raise InvariantViolation(
+                    f"complete open page {number} still inaccessible"
+                )
+        elif not page.complete:
+            if protection is not Protection.NONE:
+                raise InvariantViolation(
+                    f"incomplete page {number} is {protection}, "
+                    "not NONE"
+                )
+    checks.append("protection-matches-residency")
+
+    # 4: no overlap within a page.
+    for number in table.pages():
+        spans = sorted(
+            (entry.local_address, entry.end)
+            for entry in table.entries_on_page(number)
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            if e1 > s2:
+                raise InvariantViolation(
+                    f"overlapping placeholders on page {number}"
+                )
+    checks.append("no-placeholder-overlap")
+
+    # 5: single-home pages are homogeneous.
+    if cache.strategy == "single_home":
+        for number in table.pages():
+            homes = {
+                entry.pointer.space_id
+                for entry in table.entries_on_page(number)
+            }
+            if len(homes) > 1:
+                raise InvariantViolation(
+                    f"page {number} mixes home spaces {sorted(homes)} "
+                    "under the single-home strategy"
+                )
+        checks.append("single-home-pages")
+
+    # 6: relayed dirty entries are live and resident.
+    for entry in state.relayed_dirty:
+        if table.entry_for(entry.pointer) is not entry:
+            raise InvariantViolation(
+                f"relayed dirty set references dead {entry.pointer!r}"
+            )
+        if not entry.resident:
+            raise InvariantViolation(
+                f"relayed dirty set references non-resident "
+                f"{entry.pointer!r}"
+            )
+    checks.append("relayed-dirty-live")
+
+    return checks

@@ -1,0 +1,30 @@
+"""Workloads: the paper's experimental subjects.
+
+* :mod:`repro.workloads.trees` — the complete binary tree of 16-byte
+  nodes (two pointers + 8 bytes of data) used by every experiment in
+  the evaluation;
+* :mod:`repro.workloads.traversal` — the remote procedures run against
+  the tree: depth-first visit-to-ratio (Figs. 4, 5), repeated
+  root-to-leaf path search (Fig. 6), visit-with-update (Fig. 7);
+* :mod:`repro.workloads.hashtable` — a bucketed hash table whose
+  retrieval pattern ("a small portion of the large data") is the
+  paper's example of a workload that favours laziness;
+* :mod:`repro.workloads.linked_list` — list construction and mutation,
+  exercising ``extended_malloc``/``extended_free``.
+"""
+
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    local_tree_checksum,
+    register_tree_types,
+    tree_node_spec,
+)
+
+__all__ = [
+    "TREE_NODE_TYPE_ID",
+    "build_complete_tree",
+    "local_tree_checksum",
+    "register_tree_types",
+    "tree_node_spec",
+]

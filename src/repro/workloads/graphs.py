@@ -1,0 +1,169 @@
+"""General object graphs: cycles and shared structure.
+
+The tree workload never shares substructure; real heap data does.
+This workload builds seeded random directed graphs — with cycles,
+diamonds and multiple components — and traverses them remotely, which
+exercises the parts of the method that trees cannot: closure-walk
+cycle termination, swizzle cache hits on shared children, and
+duplicate suppression when overlapping cones arrive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.runtime import CallContext, RpcRuntime
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.xdr.types import (
+    ArrayType,
+    Field,
+    PointerType,
+    StructType,
+    int64,
+)
+
+GRAPH_NODE_TYPE_ID = "graph_node"
+OUT_DEGREE = 3
+
+
+def graph_node_spec() -> StructType:
+    """A node with a fixed out-edge array and a 64-bit weight."""
+    return StructType(
+        GRAPH_NODE_TYPE_ID,
+        [
+            Field("edges", ArrayType(PointerType(GRAPH_NODE_TYPE_ID),
+                                     OUT_DEGREE)),
+            Field("weight", int64),
+        ],
+    )
+
+
+def register_graph_types(runtime: RpcRuntime) -> None:
+    """Register the graph node type with a runtime's resolver."""
+    runtime.resolver.register(GRAPH_NODE_TYPE_ID, graph_node_spec())
+
+
+def build_random_graph(
+    runtime: RpcRuntime, num_nodes: int, seed: int
+) -> List[int]:
+    """Build a seeded random directed graph; returns node addresses.
+
+    Each node gets up to ``OUT_DEGREE`` edges to uniformly random
+    nodes (self-loops and duplicates allowed — that is what makes it a
+    stress test) and weight ``index + 1``.  Built on the raw plane.
+    """
+    spec = runtime.resolver.resolve(GRAPH_NODE_TYPE_ID)
+    size = spec.sizeof(runtime.arch)
+    layout = spec.layout(runtime.arch)
+    stride = spec.field("edges").spec.stride(runtime.arch)  # type: ignore
+    rng = random.Random(seed)
+    addresses = [
+        runtime.heap.malloc(size, GRAPH_NODE_TYPE_ID)
+        for _ in range(num_nodes)
+    ]
+    for index, address in enumerate(addresses):
+        for slot in range(OUT_DEGREE):
+            if rng.random() < 0.75:
+                target = rng.choice(addresses)
+            else:
+                target = 0
+            runtime.codec.write_pointer(
+                address + layout.offsets["edges"] + slot * stride, target
+            )
+        runtime.space.write_raw(
+            address + layout.offsets["weight"],
+            (index + 1).to_bytes(8, runtime.arch.byteorder, signed=True),
+        )
+    return addresses
+
+
+def local_reachable_weight(runtime: RpcRuntime, start: int) -> int:
+    """Raw-plane reference: sum of weights reachable from ``start``."""
+    spec = runtime.resolver.resolve(GRAPH_NODE_TYPE_ID)
+    layout = spec.layout(runtime.arch)
+    stride = spec.field("edges").spec.stride(runtime.arch)  # type: ignore
+    seen: Set[int] = set()
+    stack = [start]
+    total = 0
+    while stack:
+        address = stack.pop()
+        if address == 0 or address in seen:
+            continue
+        seen.add(address)
+        raw = runtime.space.read_raw(
+            address + layout.offsets["weight"], 8
+        )
+        total += int.from_bytes(raw, runtime.arch.byteorder, signed=True)
+        for slot in range(OUT_DEGREE):
+            stack.append(
+                runtime.codec.read_pointer(
+                    address + layout.offsets["edges"] + slot * stride
+                )
+            )
+    return total
+
+
+GRAPH_OPS = InterfaceDef(
+    "graph_ops",
+    [
+        ProcedureDef(
+            "reachable_weight",
+            [Param("start", PointerType(GRAPH_NODE_TYPE_ID))],
+            returns=int64,
+        ),
+        ProcedureDef(
+            "reachable_count",
+            [Param("start", PointerType(GRAPH_NODE_TYPE_ID))],
+            returns=int64,
+        ),
+    ],
+)
+"""Remote graph traversal interface."""
+
+
+def _walk(ctx: CallContext, start: int):
+    spec = ctx.runtime.resolver.resolve(GRAPH_NODE_TYPE_ID)
+    seen: Set[int] = set()
+    stack = [start]
+    while stack:
+        address = stack.pop()
+        if address == 0 or address in seen:
+            continue
+        seen.add(address)
+        view = ctx.struct_view(address, spec)
+        weight = view.get("weight")
+        assert isinstance(weight, int)
+        yield weight
+        for slot in range(OUT_DEGREE):
+            edge = view.element("edges", slot)
+            assert isinstance(edge, int)
+            stack.append(edge)
+
+
+def reachable_weight(ctx: CallContext, start: int) -> int:
+    """Sum of weights reachable from ``start`` (cycles handled)."""
+    return sum(_walk(ctx, start))
+
+
+def reachable_count(ctx: CallContext, start: int) -> int:
+    """Number of nodes reachable from ``start``."""
+    return sum(1 for _ in _walk(ctx, start))
+
+
+def bind_graph_server(runtime: RpcRuntime) -> None:
+    """Register the graph procedures on a callee runtime."""
+    bind_server(
+        runtime,
+        GRAPH_OPS,
+        {
+            "reachable_weight": reachable_weight,
+            "reachable_count": reachable_count,
+        },
+    )
+
+
+def graph_client(runtime: RpcRuntime, dst: str) -> ClientStub:
+    """A caller-side stub for the graph procedures."""
+    return ClientStub(runtime, GRAPH_OPS, dst)

@@ -1,0 +1,186 @@
+"""A bucketed hash table: the paper's pro-lazy workload.
+
+"The fully lazy method is expected to show good performance when a
+small portion of the large data is accessed (for example, retrieval of
+a hash table)."  A lookup touches one bucket header and a short chain,
+so eagerly shipping the whole table is pure waste — the workload that
+sits at the opposite end of the spectrum from the full tree scan.
+
+The table is a struct holding a fixed array of bucket-head pointers;
+chain nodes hold a 64-bit key, a 16-byte value and a next pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.runtime import CallContext, RpcRuntime
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.xdr.types import (
+    ArrayType,
+    Field,
+    OpaqueType,
+    PointerType,
+    StructType,
+    int64,
+)
+
+HASH_TABLE_TYPE_ID = "hash_table"
+HASH_NODE_TYPE_ID = "hash_node"
+NUM_BUCKETS = 256
+
+
+def hash_node_spec() -> StructType:
+    """One chain node."""
+    return StructType(
+        HASH_NODE_TYPE_ID,
+        [
+            Field("next", PointerType(HASH_NODE_TYPE_ID)),
+            Field("key", int64),
+            Field("value", OpaqueType(16)),
+        ],
+    )
+
+
+def hash_table_spec() -> StructType:
+    """The table header: a fixed array of bucket-head pointers."""
+    return StructType(
+        HASH_TABLE_TYPE_ID,
+        [
+            Field(
+                "buckets",
+                ArrayType(PointerType(HASH_NODE_TYPE_ID), NUM_BUCKETS),
+            ),
+        ],
+    )
+
+
+def register_hash_types(runtime: RpcRuntime) -> None:
+    """Register both hash types with a runtime's resolver."""
+    runtime.resolver.register(HASH_NODE_TYPE_ID, hash_node_spec())
+    runtime.resolver.register(HASH_TABLE_TYPE_ID, hash_table_spec())
+
+
+def bucket_of(key: int) -> int:
+    """The bucket a key chains under (a cheap multiplicative hash)."""
+    return ((key * 2654435761) >> 16) % NUM_BUCKETS
+
+
+def value_for(key: int) -> bytes:
+    """The deterministic 16-byte value stored under ``key``."""
+    return (key * key).to_bytes(16, "big", signed=False)
+
+
+def build_hash_table(
+    runtime: RpcRuntime, keys: List[int]
+) -> Tuple[int, Dict[int, int]]:
+    """Build a table holding ``keys`` in the runtime's heap.
+
+    Returns the table address and a bucket -> chain-length histogram
+    (handy for tests).  Built on the raw plane: experimental setup.
+    """
+    table_spec = runtime.resolver.resolve(HASH_TABLE_TYPE_ID)
+    node_spec = runtime.resolver.resolve(HASH_NODE_TYPE_ID)
+    arch = runtime.arch
+    table = runtime.heap.malloc(table_spec.sizeof(arch), HASH_TABLE_TYPE_ID)
+    buckets_field = table_spec.field("buckets")
+    stride = buckets_field.spec.stride(arch)  # type: ignore[union-attr]
+    base = table + table_spec.layout(arch).offsets["buckets"]
+    codec = runtime.codec
+    for index in range(NUM_BUCKETS):
+        codec.write_pointer(base + index * stride, 0)
+    node_layout = node_spec.layout(arch)
+    lengths: Dict[int, int] = {}
+    for key in keys:
+        bucket = bucket_of(key)
+        node = runtime.heap.malloc(node_spec.sizeof(arch), HASH_NODE_TYPE_ID)
+        head_address = base + bucket * stride
+        codec.write_pointer(
+            node + node_layout.offsets["next"],
+            codec.read_pointer(head_address),
+        )
+        runtime.space.write_raw(
+            node + node_layout.offsets["key"],
+            key.to_bytes(8, arch.byteorder, signed=True),
+        )
+        runtime.space.write_raw(
+            node + node_layout.offsets["value"], value_for(key)
+        )
+        codec.write_pointer(head_address, node)
+        lengths[bucket] = lengths.get(bucket, 0) + 1
+    return table, lengths
+
+
+HASH_OPS = InterfaceDef(
+    "hash_ops",
+    [
+        ProcedureDef(
+            "lookup",
+            [
+                Param("table", PointerType(HASH_TABLE_TYPE_ID)),
+                Param("key", int64),
+            ],
+            returns=int64,
+        ),
+        ProcedureDef(
+            "lookup_many",
+            [
+                Param("table", PointerType(HASH_TABLE_TYPE_ID)),
+                Param("first_key", int64),
+                Param("count", int64),
+            ],
+            returns=int64,
+        ),
+    ],
+)
+"""Remote hash-table retrieval interface."""
+
+
+def _chain_lookup(ctx: CallContext, table: int, key: int) -> Optional[bytes]:
+    table_spec = ctx.runtime.resolver.resolve(HASH_TABLE_TYPE_ID)
+    node_spec = ctx.runtime.resolver.resolve(HASH_NODE_TYPE_ID)
+    view = ctx.struct_view(table, table_spec)
+    address = view.element("buckets", bucket_of(key))
+    while address != 0:
+        node = ctx.struct_view(address, node_spec)
+        if node.get("key") == key:
+            value = node.get("value")
+            assert isinstance(value, bytes)
+            return value
+        next_address = node.get("next")
+        assert isinstance(next_address, int)
+        address = next_address
+    return None
+
+
+def lookup(ctx: CallContext, table: int, key: int) -> int:
+    """Retrieve one key; returns the value's low 8 bytes (or -1)."""
+    value = _chain_lookup(ctx, table, key)
+    if value is None:
+        return -1
+    return int.from_bytes(value[8:], "big")
+
+
+def lookup_many(
+    ctx: CallContext, table: int, first_key: int, count: int
+) -> int:
+    """Retrieve ``count`` consecutive keys; sum of found low words."""
+    total = 0
+    for key in range(first_key, first_key + count):
+        value = _chain_lookup(ctx, table, key)
+        if value is not None:
+            total += int.from_bytes(value[8:], "big")
+    return total
+
+
+def bind_hash_server(runtime: RpcRuntime) -> None:
+    """Register the hash procedures on a callee runtime."""
+    bind_server(
+        runtime, HASH_OPS, {"lookup": lookup, "lookup_many": lookup_many}
+    )
+
+
+def hash_client(runtime: RpcRuntime, dst: str) -> ClientStub:
+    """A caller-side stub for the hash procedures."""
+    return ClientStub(runtime, HASH_OPS, dst)

@@ -1,0 +1,110 @@
+"""The complete binary tree of the paper's evaluation.
+
+"Each node of the tree has 16 bytes (two 4-byte pointers and 8-byte
+data)" on the SPARC testbed.  The node type here is two pointers plus
+8 opaque bytes, which lays out to exactly 16 bytes on
+:data:`~repro.xdr.arch.SPARC32`.
+
+The 8 data bytes hold the node's heap-order index (big-endian), so any
+traversal can checksum what it visited and tests can verify that the
+right data arrived at the right shape.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rpc.runtime import RpcRuntime
+from repro.xdr.types import Field, OpaqueType, PointerType, StructType
+
+TREE_NODE_TYPE_ID = "tree_node"
+
+
+def tree_node_spec() -> StructType:
+    """The 16-byte (on 32-bit machines) tree node type."""
+    return StructType(
+        TREE_NODE_TYPE_ID,
+        [
+            Field("left", PointerType(TREE_NODE_TYPE_ID)),
+            Field("right", PointerType(TREE_NODE_TYPE_ID)),
+            Field("data", OpaqueType(8)),
+        ],
+    )
+
+
+def register_tree_types(runtime: RpcRuntime) -> StructType:
+    """Register the node type with a runtime's resolver."""
+    spec = tree_node_spec()
+    runtime.resolver.register(TREE_NODE_TYPE_ID, spec)
+    return spec
+
+
+def complete_tree_depth(num_nodes: int) -> int:
+    """Depth of a complete tree of ``num_nodes`` (must be 2^k - 1)."""
+    depth = num_nodes.bit_length() - 1
+    if num_nodes <= 0 or num_nodes != (1 << (depth + 1)) - 1:
+        raise ValueError(
+            f"a complete binary tree has 2^k - 1 nodes, not {num_nodes}"
+        )
+    return depth
+
+
+def build_complete_tree(runtime: RpcRuntime, num_nodes: int) -> int:
+    """Build a complete binary tree in ``runtime``'s heap; return the root.
+
+    Nodes are laid out in heap order: node ``i`` has children ``2i+1``
+    and ``2i+2``; its data bytes are ``i`` big-endian.  Construction
+    uses the raw (runtime) plane — it is experimental setup, not part
+    of any measured remote procedure.
+    """
+    complete_tree_depth(num_nodes)  # validates the count
+    spec = runtime.resolver.resolve(TREE_NODE_TYPE_ID)
+    size = spec.sizeof(runtime.arch)
+    layout = spec.layout(runtime.arch)
+    left_off = layout.offsets["left"]
+    right_off = layout.offsets["right"]
+    data_off = layout.offsets["data"]
+    addresses: List[int] = [
+        runtime.heap.malloc(size, TREE_NODE_TYPE_ID)
+        for _ in range(num_nodes)
+    ]
+    codec = runtime.codec
+    space = runtime.space
+    for index, address in enumerate(addresses):
+        left_index = 2 * index + 1
+        right_index = 2 * index + 2
+        codec.write_pointer(
+            address + left_off,
+            addresses[left_index] if left_index < num_nodes else 0,
+        )
+        codec.write_pointer(
+            address + right_off,
+            addresses[right_index] if right_index < num_nodes else 0,
+        )
+        space.write_raw(address + data_off, index.to_bytes(8, "big"))
+    return addresses[0]
+
+
+def local_tree_checksum(runtime: RpcRuntime, root: int) -> int:
+    """Sum of data values reachable from ``root`` (raw plane, no faults).
+
+    Only valid in the tree's home space; used by tests and examples to
+    verify what a remote traversal should have seen.
+    """
+    spec = runtime.resolver.resolve(TREE_NODE_TYPE_ID)
+    layout = spec.layout(runtime.arch)
+    total = 0
+    stack = [root]
+    while stack:
+        address = stack.pop()
+        if address == 0:
+            continue
+        data = runtime.space.read_raw(address + layout.offsets["data"], 8)
+        total += int.from_bytes(data, "big")
+        stack.append(
+            runtime.codec.read_pointer(address + layout.offsets["left"])
+        )
+        stack.append(
+            runtime.codec.read_pointer(address + layout.offsets["right"])
+        )
+    return total

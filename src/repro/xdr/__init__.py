@@ -1,0 +1,79 @@
+"""Canonical data representation (XDR) and the heterogeneity machinery.
+
+The original system used Sun XDR (RFC 1014) as the canonical wire
+representation so that SPARCs and other CPUs could interchange typed
+data.  This package rebuilds that stack from scratch:
+
+* :class:`~repro.xdr.arch.Architecture` — byte order, pointer width and
+  alignment rules of one machine;
+* :mod:`repro.xdr.types` — the data-type specifiers (scalars, opaque,
+  fixed arrays, structs, pointers) with per-architecture layout
+  (sizeof / alignment / field offsets);
+* :mod:`repro.xdr.stream` — ``XdrEncoder`` / ``XdrDecoder``, the
+  big-endian 4-byte-unit canonical stream every message body uses;
+* :mod:`repro.xdr.raw` — converting between a type's raw in-memory
+  bytes on some architecture and its canonical form, with pluggable
+  pointer hooks (that is where swizzling plugs in);
+* :class:`~repro.xdr.registry.TypeRegistry` — the database mapping data
+  type specifiers (string ids) to actual structures.
+"""
+
+from repro.xdr.arch import ALPHA64, SPARC32, X86_64, Architecture
+from repro.xdr.errors import XdrError
+from repro.xdr.raw import RawCodec
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    Field,
+    OpaqueType,
+    PointerType,
+    ScalarKind,
+    ScalarType,
+    StructType,
+    TypeSpec,
+    UnionType,
+    float32,
+    float64,
+    int8,
+    int16,
+    int32,
+    int64,
+    uint8,
+    uint16,
+    uint32,
+    uint64,
+)
+
+__all__ = [
+    "ALPHA64",
+    "Architecture",
+    "ArrayType",
+    "EnumType",
+    "Field",
+    "UnionType",
+    "OpaqueType",
+    "PointerType",
+    "RawCodec",
+    "ScalarKind",
+    "ScalarType",
+    "SPARC32",
+    "StructType",
+    "TypeRegistry",
+    "TypeSpec",
+    "X86_64",
+    "XdrDecoder",
+    "XdrEncoder",
+    "XdrError",
+    "float32",
+    "float64",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+]

@@ -1,0 +1,53 @@
+"""Machine architectures.
+
+The paper's central heterogeneity claim is that *only the logical type*
+of shared data is shared; each machine keeps its own representation.
+An :class:`Architecture` captures exactly what representation depends
+on: byte order, pointer width, and alignment.  Unlike the heterogeneous
+DSM systems the paper criticises (Mermaid), no two sites need to agree
+on word alignment or record layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """Representation parameters of one machine.
+
+    Attributes:
+        name: human-readable tag.
+        byteorder: ``"big"`` or ``"little"``.
+        pointer_size: bytes per ordinary pointer (4 or 8).
+        max_alignment: cap on natural alignment (a type never requires
+            stricter alignment than this).
+    """
+
+    name: str
+    byteorder: str
+    pointer_size: int
+    max_alignment: int = 8
+
+    def __post_init__(self) -> None:
+        if self.byteorder not in ("big", "little"):
+            raise ValueError(f"bad byte order {self.byteorder!r}")
+        if self.pointer_size not in (4, 8):
+            raise ValueError(f"bad pointer size {self.pointer_size!r}")
+        if self.max_alignment not in (1, 2, 4, 8, 16):
+            raise ValueError(f"bad max alignment {self.max_alignment!r}")
+
+    def align_of(self, natural: int) -> int:
+        """Clamp a natural alignment to this machine's maximum."""
+        return min(natural, self.max_alignment)
+
+
+SPARC32 = Architecture("sparc32", "big", 4)
+"""The paper's testbed: 32-bit big-endian Sun SPARC."""
+
+X86_64 = Architecture("x86_64", "little", 8)
+"""A modern 64-bit little-endian peer for heterogeneity scenarios."""
+
+ALPHA64 = Architecture("alpha64", "little", 8, max_alignment=8)
+"""A second 64-bit machine, used in tests to triangulate conversions."""

@@ -1,0 +1,5 @@
+"""XDR error type."""
+
+
+class XdrError(Exception):
+    """Malformed canonical data or a type/value mismatch while encoding."""

@@ -1,0 +1,220 @@
+"""Raw-memory <-> canonical-form conversion.
+
+The home runtime reads typed data out of its heap in the machine's
+native representation, encodes it canonically for the wire, and the
+receiving runtime decodes it into *its* native representation — the
+endianness/width/alignment translation that makes the system
+heterogeneous.
+
+Pointer fields are delegated to hooks because their wire form (long
+pointers) and their local form (swizzled addresses) are RPC-runtime
+concerns:
+
+* ``encode`` calls ``pointer_out(pointer_value, target_type_id)`` and
+  the hook appends the long-pointer encoding to the stream
+  (*unswizzling*);
+* ``decode`` calls ``pointer_in(target_type_id)`` and the hook consumes
+  the long-pointer encoding and returns the local address to store
+  (*swizzling*).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from repro.memory.address_space import AddressSpace
+from repro.xdr.arch import Architecture
+from repro.xdr.errors import XdrError
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    OpaqueType,
+    PointerType,
+    ScalarKind,
+    ScalarType,
+    StructType,
+    TypeSpec,
+    UnionType,
+)
+
+PointerOut = Callable[[int, str], None]
+PointerIn = Callable[[str], int]
+
+
+class RawCodec:
+    """Converts typed raw memory to/from the canonical form."""
+
+    def __init__(self, space: AddressSpace, arch: Architecture) -> None:
+        self.space = space
+        self.arch = arch
+
+    # -- encoding (native memory -> canonical) ------------------------------
+
+    def encode(
+        self,
+        address: int,
+        spec: TypeSpec,
+        encoder: XdrEncoder,
+        pointer_out: PointerOut,
+    ) -> None:
+        """Append the canonical form of the value at ``address``."""
+        if isinstance(spec, ScalarType):
+            raw = self.space.read_raw(address, spec.kind.size)
+            value = spec.unpack_raw(raw, self.arch)
+            _pack_scalar(encoder, spec.kind, value)
+        elif isinstance(spec, OpaqueType):
+            encoder.pack_fixed_opaque(
+                self.space.read_raw(address, spec.length)
+            )
+        elif isinstance(spec, PointerType):
+            pointer = self.read_pointer(address)
+            pointer_out(pointer, spec.target_type_id)
+        elif isinstance(spec, ArrayType):
+            stride = spec.stride(self.arch)
+            for index in range(spec.count):
+                self.encode(
+                    address + index * stride,
+                    spec.element,
+                    encoder,
+                    pointer_out,
+                )
+        elif isinstance(spec, StructType):
+            layout = spec.layout(self.arch)
+            for field in spec.fields:
+                self.encode(
+                    address + layout.offsets[field.name],
+                    field.spec,
+                    encoder,
+                    pointer_out,
+                )
+        elif isinstance(spec, EnumType):
+            raw = self.space.read_raw(address, 4)
+            value = int.from_bytes(raw, self.arch.byteorder, signed=True)
+            spec.name_of(value)  # validates membership
+            encoder.pack_int32(value)
+        elif isinstance(spec, UnionType):
+            raw = self.space.read_raw(address, 4)
+            value = int.from_bytes(raw, self.arch.byteorder, signed=True)
+            arm = spec.arm_for(value)
+            encoder.pack_int32(value)
+            self.encode(
+                address + spec.body_offset(self.arch),
+                arm,
+                encoder,
+                pointer_out,
+            )
+        else:
+            raise XdrError(f"cannot encode spec {spec!r}")
+
+    # -- decoding (canonical -> native memory) --------------------------------
+
+    def decode(
+        self,
+        decoder: XdrDecoder,
+        address: int,
+        spec: TypeSpec,
+        pointer_in: PointerIn,
+    ) -> None:
+        """Materialise one canonical value into memory at ``address``.
+
+        Writes through the raw (kernel) plane: the destination is
+        typically a protected cache page being filled by the runtime.
+        """
+        if isinstance(spec, ScalarType):
+            value = _unpack_scalar(decoder, spec.kind)
+            self.space.write_raw(address, spec.pack_raw(value, self.arch))
+        elif isinstance(spec, OpaqueType):
+            self.space.write_raw(
+                address, decoder.unpack_fixed_opaque(spec.length)
+            )
+        elif isinstance(spec, PointerType):
+            pointer = pointer_in(spec.target_type_id)
+            self.write_pointer(address, pointer)
+        elif isinstance(spec, ArrayType):
+            stride = spec.stride(self.arch)
+            for index in range(spec.count):
+                self.decode(
+                    decoder, address + index * stride, spec.element, pointer_in
+                )
+        elif isinstance(spec, StructType):
+            layout = spec.layout(self.arch)
+            for field in spec.fields:
+                self.decode(
+                    decoder,
+                    address + layout.offsets[field.name],
+                    field.spec,
+                    pointer_in,
+                )
+        elif isinstance(spec, EnumType):
+            value = decoder.unpack_int32()
+            spec.name_of(value)  # validates membership
+            self.space.write_raw(
+                address,
+                value.to_bytes(4, self.arch.byteorder, signed=True),
+            )
+        elif isinstance(spec, UnionType):
+            value = decoder.unpack_int32()
+            arm = spec.arm_for(value)
+            self.space.write_raw(
+                address,
+                value.to_bytes(4, self.arch.byteorder, signed=True),
+            )
+            self.decode(
+                decoder,
+                address + spec.body_offset(self.arch),
+                arm,
+                pointer_in,
+            )
+        else:
+            raise XdrError(f"cannot decode spec {spec!r}")
+
+    # -- pointer words --------------------------------------------------------
+
+    def read_pointer(self, address: int) -> int:
+        """Read one ordinary pointer word (raw plane)."""
+        raw = self.space.read_raw(address, self.arch.pointer_size)
+        return int.from_bytes(raw, self.arch.byteorder)
+
+    def write_pointer(self, address: int, value: int) -> None:
+        """Write one ordinary pointer word (raw plane)."""
+        if value < 0 or value >= 1 << (8 * self.arch.pointer_size):
+            raise XdrError(
+                f"pointer {value:#x} does not fit in "
+                f"{self.arch.pointer_size} bytes on {self.arch.name}"
+            )
+        self.space.write_raw(
+            address,
+            value.to_bytes(self.arch.pointer_size, self.arch.byteorder),
+        )
+
+
+def _pack_scalar(
+    encoder: XdrEncoder, kind: ScalarKind, value: Union[int, float]
+) -> None:
+    if kind is ScalarKind.FLOAT32:
+        encoder.pack_float(float(value))
+    elif kind is ScalarKind.FLOAT64:
+        encoder.pack_double(float(value))
+    elif kind in (ScalarKind.INT64,):
+        encoder.pack_int64(int(value))
+    elif kind in (ScalarKind.UINT64,):
+        encoder.pack_uint64(int(value))
+    elif kind in (ScalarKind.INT8, ScalarKind.INT16, ScalarKind.INT32):
+        encoder.pack_int32(int(value))
+    else:
+        encoder.pack_uint32(int(value))
+
+
+def _unpack_scalar(decoder: XdrDecoder, kind: ScalarKind) -> Union[int, float]:
+    if kind is ScalarKind.FLOAT32:
+        return decoder.unpack_float()
+    if kind is ScalarKind.FLOAT64:
+        return decoder.unpack_double()
+    if kind is ScalarKind.INT64:
+        return decoder.unpack_int64()
+    if kind is ScalarKind.UINT64:
+        return decoder.unpack_uint64()
+    if kind in (ScalarKind.INT8, ScalarKind.INT16, ScalarKind.INT32):
+        return decoder.unpack_int32()
+    return decoder.unpack_uint32()

@@ -1,0 +1,196 @@
+"""XDR canonical streams (RFC 1014 discipline, rebuilt from scratch).
+
+Everything that crosses the simulated wire — RPC headers, arguments,
+data-transfer batches, coherency traffic — is produced by
+:class:`XdrEncoder` and consumed by :class:`XdrDecoder`.  The canonical
+form is big-endian with every item padded to a multiple of 4 bytes,
+matching the XDR the original system used, so encoded sizes (and thus
+the simulated wire costs) are realistic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.xdr.errors import XdrError
+
+_UINT32_MAX = 0xFFFFFFFF
+_UINT64_MAX = 0xFFFFFFFFFFFFFFFF
+
+
+class XdrEncoder:
+    """Append-only canonical stream writer."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+        self._size = 0
+
+    # -- integers -----------------------------------------------------------
+
+    def pack_uint32(self, value: int) -> None:
+        """Append an unsigned 32-bit integer."""
+        if not 0 <= value <= _UINT32_MAX:
+            raise XdrError(f"uint32 out of range: {value!r}")
+        self._append(struct.pack(">I", value))
+
+    def pack_int32(self, value: int) -> None:
+        """Append a signed 32-bit integer."""
+        if not -(2**31) <= value < 2**31:
+            raise XdrError(f"int32 out of range: {value!r}")
+        self._append(struct.pack(">i", value))
+
+    def pack_uint64(self, value: int) -> None:
+        """Append an unsigned 64-bit integer (XDR "unsigned hyper")."""
+        if not 0 <= value <= _UINT64_MAX:
+            raise XdrError(f"uint64 out of range: {value!r}")
+        self._append(struct.pack(">Q", value))
+
+    def pack_int64(self, value: int) -> None:
+        """Append a signed 64-bit integer (XDR "hyper")."""
+        if not -(2**63) <= value < 2**63:
+            raise XdrError(f"int64 out of range: {value!r}")
+        self._append(struct.pack(">q", value))
+
+    def pack_bool(self, value: bool) -> None:
+        """Append a boolean as a 32-bit 0/1."""
+        self.pack_uint32(1 if value else 0)
+
+    # -- floats -------------------------------------------------------------
+
+    def pack_float(self, value: float) -> None:
+        """Append an IEEE single."""
+        self._append(struct.pack(">f", value))
+
+    def pack_double(self, value: float) -> None:
+        """Append an IEEE double."""
+        self._append(struct.pack(">d", value))
+
+    # -- byte sequences -------------------------------------------------------
+
+    def pack_fixed_opaque(self, data: bytes) -> None:
+        """Append fixed-length opaque data, padded to 4 bytes."""
+        self._append(data)
+        self._pad()
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Append variable-length opaque data (length prefix + padding)."""
+        self.pack_uint32(len(data))
+        self.pack_fixed_opaque(data)
+
+    def pack_string(self, text: str) -> None:
+        """Append a UTF-8 string as variable-length opaque."""
+        self.pack_opaque(text.encode("utf-8"))
+
+    # -- result ---------------------------------------------------------------
+
+    def getvalue(self) -> bytes:
+        """The canonical byte string written so far."""
+        return b"".join(self._chunks)
+
+    @property
+    def size(self) -> int:
+        """Bytes written so far."""
+        return self._size
+
+    def _append(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def _pad(self) -> None:
+        remainder = self._size % 4
+        if remainder:
+            self._append(b"\x00" * (4 - remainder))
+
+
+class XdrDecoder:
+    """Sequential canonical stream reader."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._cursor = 0
+
+    # -- integers -----------------------------------------------------------
+
+    def unpack_uint32(self) -> int:
+        """Read an unsigned 32-bit integer."""
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_int32(self) -> int:
+        """Read a signed 32-bit integer."""
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_uint64(self) -> int:
+        """Read an unsigned 64-bit integer."""
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def unpack_int64(self) -> int:
+        """Read a signed 64-bit integer."""
+        return struct.unpack(">q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        """Read a boolean."""
+        value = self.unpack_uint32()
+        if value not in (0, 1):
+            raise XdrError(f"bad boolean encoding {value!r}")
+        return bool(value)
+
+    # -- floats -------------------------------------------------------------
+
+    def unpack_float(self) -> float:
+        """Read an IEEE single."""
+        return struct.unpack(">f", self._take(4))[0]
+
+    def unpack_double(self) -> float:
+        """Read an IEEE double."""
+        return struct.unpack(">d", self._take(8))[0]
+
+    # -- byte sequences -------------------------------------------------------
+
+    def unpack_fixed_opaque(self, length: int) -> bytes:
+        """Read fixed-length opaque data (and its padding)."""
+        data = self._take(length)
+        self._skip_pad(length)
+        return data
+
+    def unpack_opaque(self) -> bytes:
+        """Read variable-length opaque data."""
+        length = self.unpack_uint32()
+        return self.unpack_fixed_opaque(length)
+
+    def unpack_string(self) -> str:
+        """Read a UTF-8 string."""
+        return self.unpack_opaque().decode("utf-8")
+
+    # -- cursor ---------------------------------------------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left unread."""
+        return len(self._data) - self._cursor
+
+    def done(self) -> bool:
+        """Whether the whole stream has been consumed."""
+        return self.remaining == 0
+
+    def expect_done(self) -> None:
+        """Raise unless the stream is fully consumed (framing check)."""
+        if not self.done():
+            raise XdrError(f"{self.remaining} trailing bytes in XDR stream")
+
+    def _take(self, size: int) -> bytes:
+        if self._cursor + size > len(self._data):
+            raise XdrError(
+                f"XDR underflow: need {size} bytes, "
+                f"have {self.remaining}"
+            )
+        data = self._data[self._cursor : self._cursor + size]
+        self._cursor += size
+        return data
+
+    def _skip_pad(self, length: int) -> None:
+        remainder = length % 4
+        if remainder:
+            pad = self._take(4 - remainder)
+            if pad != b"\x00" * len(pad):
+                raise XdrError(f"nonzero XDR padding {pad!r}")

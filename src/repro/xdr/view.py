@@ -1,0 +1,126 @@
+"""Typed program-level views over memory.
+
+Workload code reads and writes struct fields through
+:class:`StructView`, which goes through the *checked* access plane
+(:class:`~repro.memory.accessor.Mem`).  This is the simulation's stand-in
+for compiled field accesses: a protected page faults exactly once, the
+fault handler fills it, and the access then completes — transparently
+to the workload, which is the paper's headline property.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.memory.accessor import Mem
+from repro.xdr.arch import Architecture
+from repro.xdr.errors import XdrError
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    OpaqueType,
+    PointerType,
+    ScalarType,
+    StructType,
+    TypeSpec,
+)
+
+FieldValue = Union[int, float, bytes]
+
+
+class StructView:
+    """One struct instance at a fixed address, seen through ``Mem``."""
+
+    def __init__(
+        self,
+        mem: Mem,
+        address: int,
+        spec: StructType,
+        arch: Architecture,
+    ) -> None:
+        self.mem = mem
+        self.address = address
+        self.spec = spec
+        self.arch = arch
+        self._layout = spec.layout(arch)
+
+    def field_address(self, name: str) -> int:
+        """Absolute address of a member."""
+        return self.address + self._layout.offsets[name]
+
+    def get(self, name: str) -> FieldValue:
+        """Load a member (pointer members load as integer addresses)."""
+        field = self.spec.field(name)
+        return self._load(self.field_address(name), field.spec)
+
+    def set(self, name: str, value: FieldValue) -> None:
+        """Store a member."""
+        field = self.spec.field(name)
+        self._store(self.field_address(name), field.spec, value)
+
+    def element(self, name: str, index: int) -> FieldValue:
+        """Load one element of an array member."""
+        field = self.spec.field(name)
+        if not isinstance(field.spec, ArrayType):
+            raise XdrError(f"field {name!r} is not an array")
+        if not 0 <= index < field.spec.count:
+            raise XdrError(f"array index {index!r} out of range")
+        stride = field.spec.stride(self.arch)
+        return self._load(
+            self.field_address(name) + index * stride, field.spec.element
+        )
+
+    def view(self, name: str, spec: StructType) -> "StructView":
+        """Follow a pointer member to a struct of type ``spec``."""
+        pointer = self.get(name)
+        if not isinstance(pointer, int) or pointer == 0:
+            raise XdrError(f"field {name!r} is not a valid pointer")
+        return StructView(self.mem, pointer, spec, self.arch)
+
+    # -- internals ----------------------------------------------------------
+
+    def _load(self, address: int, spec: TypeSpec) -> FieldValue:
+        if isinstance(spec, ScalarType):
+            raw = self.mem.load(address, spec.kind.size)
+            return spec.unpack_raw(raw, self.arch)
+        if isinstance(spec, PointerType):
+            raw = self.mem.load(address, self.arch.pointer_size)
+            return int.from_bytes(raw, self.arch.byteorder)
+        if isinstance(spec, OpaqueType):
+            return self.mem.load(address, spec.length)
+        if isinstance(spec, EnumType):
+            raw = self.mem.load(address, 4)
+            return int.from_bytes(raw, self.arch.byteorder, signed=True)
+        raise XdrError(f"cannot load aggregate field of type {spec!r}")
+
+    def _store(self, address: int, spec: TypeSpec, value: FieldValue) -> None:
+        if isinstance(spec, ScalarType):
+            if isinstance(value, bytes):
+                raise XdrError(f"scalar field given bytes value {value!r}")
+            self.mem.store(address, spec.pack_raw(value, self.arch))
+        elif isinstance(spec, PointerType):
+            if not isinstance(value, int):
+                raise XdrError(f"pointer field given {value!r}")
+            self.mem.store(
+                address,
+                value.to_bytes(self.arch.pointer_size, self.arch.byteorder),
+            )
+        elif isinstance(spec, OpaqueType):
+            if not isinstance(value, bytes) or len(value) != spec.length:
+                raise XdrError(
+                    f"opaque field of {spec.length} bytes given {value!r}"
+                )
+            self.mem.store(address, value)
+        elif isinstance(spec, EnumType):
+            if isinstance(value, str):
+                value = spec.value_of(value)
+            if not isinstance(value, int) or not spec.is_valid(value):
+                raise XdrError(
+                    f"enum field {spec.name!r} given {value!r}"
+                )
+            self.mem.store(
+                address,
+                value.to_bytes(4, self.arch.byteorder, signed=True),
+            )
+        else:
+            raise XdrError(f"cannot store aggregate field of type {spec!r}")

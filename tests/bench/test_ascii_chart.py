@@ -1,0 +1,42 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.ascii_chart import render_chart
+
+
+class TestRenderChart:
+    def test_markers_use_series_initials(self):
+        text = render_chart({
+            "lazy": [(0.0, 0.0), (1.0, 10.0)],
+            "proposed": [(0.0, 0.0), (1.0, 3.0)],
+        })
+        assert "L" in text and "P" in text
+
+    def test_legend_present(self):
+        text = render_chart({"eager": [(0, 1), (1, 1)]})
+        assert "E=eager" in text
+
+    def test_empty_series(self):
+        assert render_chart({}) == "(no data)"
+        assert render_chart({"x": []}) == "(no data)"
+
+    def test_extremes_plotted_at_edges(self):
+        text = render_chart({"s": [(0.0, 0.0), (1.0, 1.0)]},
+                            height=5, width=20)
+        lines = [line for line in text.splitlines() if "|" in line]
+        top_row = lines[0].split("|", 1)[1]
+        bottom_row = lines[-1].split("|", 1)[1]
+        assert top_row.rstrip().endswith("S")   # max at top right
+        assert bottom_row.startswith("S")        # min at bottom left
+
+    def test_y_axis_labels_span_range(self):
+        text = render_chart({"s": [(0, 0.0), (1, 12.0)]})
+        assert "12.000" in text
+        assert "0.000" in text
+
+    def test_y_label_line(self):
+        text = render_chart({"s": [(0, 1)]}, y_label="seconds")
+        assert text.splitlines()[0] == "seconds"
+
+    def test_flat_series_does_not_crash(self):
+        text = render_chart({"flat": [(0, 5.0), (1, 5.0), (2, 5.0)]})
+        assert "F" in text

@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro.bench`` command line."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+class TestListing:
+    def test_no_arguments_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["does_not_exist"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestRunning:
+    def test_table1_runs_and_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "LongPointer" in out
+
+    def test_quick_fig4_runs(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "fully lazy" in out
+
+    def test_quick_fig7_runs(self, capsys):
+        assert main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "updated/not" in out
+
+    def test_ablation_malloc_runs(self, capsys):
+        assert main(["ablation_malloc"]) == 0
+        out = capsys.readouterr().out
+        assert "batched" in out
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "ablation_alloc",
+            "ablation_closure",
+            "ablation_malloc",
+            "ablation_hints",
+        }

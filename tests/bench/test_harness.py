@@ -1,0 +1,89 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.baselines.eager import FullyEagerRpc
+from repro.baselines.lazy import FullyLazyRpc
+from repro.bench.harness import (
+    FULLY_EAGER,
+    FULLY_LAZY,
+    METHODS,
+    PROPOSED,
+    make_world,
+    run_tree_call,
+)
+from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.workloads.traversal import expected_search_checksum
+
+
+class TestMakeWorld:
+    def test_proposed_world_uses_smart_runtimes(self):
+        world = make_world(PROPOSED)
+        assert isinstance(world.caller, SmartRpcRuntime)
+        assert isinstance(world.callee, SmartRpcRuntime)
+
+    def test_eager_world(self):
+        world = make_world(FULLY_EAGER)
+        assert isinstance(world.caller, FullyEagerRpc)
+
+    def test_lazy_world(self):
+        world = make_world(FULLY_LAZY)
+        assert isinstance(world.caller, FullyLazyRpc)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_world("telepathy")
+
+    def test_closure_size_propagates(self):
+        world = make_world(PROPOSED, closure_size=1234)
+        assert world.callee.closure_size == 1234
+
+    def test_default_architecture_is_sparc(self):
+        world = make_world(PROPOSED)
+        assert world.caller.arch.name == "sparc32"
+        assert world.callee.arch.name == "sparc32"
+
+
+class TestRunTreeCall:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_search_result_is_correct_for_every_method(self, method):
+        world = make_world(method)
+        run = run_tree_call(world, 63, "search", ratio=1.0)
+        assert run.result == expected_search_checksum(63, 63)
+        assert run.seconds > 0
+        assert run.messages >= 2
+
+    def test_ratio_zero_is_nearly_free_for_lazy(self):
+        world = make_world(FULLY_LAZY)
+        run = run_tree_call(world, 63, "search", ratio=0.0)
+        assert run.callbacks == 0
+
+    def test_search_repeat_runs(self):
+        world = make_world(PROPOSED)
+        run = run_tree_call(world, 63, "search_repeat", repeats=3)
+        assert run.result == 3 * sum(range(63))
+
+    def test_path_search_runs(self):
+        world = make_world(PROPOSED)
+        run = run_tree_call(world, 63, "path_search", repeats=4, seed=9)
+        assert run.callbacks >= 1
+
+    def test_unknown_procedure_rejected(self):
+        world = make_world(PROPOSED)
+        with pytest.raises(ValueError):
+            run_tree_call(world, 63, "teleport", ratio=0.1)
+
+    def test_stats_reset_before_measurement(self):
+        world = make_world(PROPOSED)
+        run_tree_call(world, 63, "search", ratio=1.0)
+        # a second run on a fresh world is comparable
+        world2 = make_world(PROPOSED)
+        run2 = run_tree_call(world2, 63, "search", ratio=1.0)
+        assert run2.messages > 0
+
+    def test_row_shape(self):
+        world = make_world(PROPOSED)
+        run = run_tree_call(world, 63, "search", ratio=0.5)
+        row = run.row()
+        assert row[0] == PROPOSED
+        assert len(row) == 5

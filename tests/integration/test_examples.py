@@ -1,0 +1,32 @@
+"""Every example script must run cleanly (they assert internally)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()  # every example reports something
+
+
+def test_example_inventory():
+    """The deliverable requires at least three runnable examples."""
+    assert len(EXAMPLES) >= 3
+    names = {path.stem for path in EXAMPLES}
+    assert "quickstart" in names

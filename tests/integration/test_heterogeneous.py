@@ -1,0 +1,81 @@
+"""Cross-architecture integration: every pairing of machines works."""
+
+import itertools
+
+import pytest
+
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.server import TypeNameServer
+from repro.simnet.network import Network
+from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.workloads.traversal import (
+    bind_tree_server,
+    expected_search_checksum,
+    tree_client,
+)
+from repro.workloads.trees import build_complete_tree, register_tree_types
+from repro.xdr.arch import ALPHA64, SPARC32, X86_64
+from repro.xdr.registry import TypeRegistry
+
+ARCHES = {"sparc32": SPARC32, "x86_64": X86_64, "alpha64": ALPHA64}
+PAIRINGS = list(itertools.product(ARCHES, ARCHES))
+
+
+@pytest.mark.parametrize(
+    "caller_arch,callee_arch", PAIRINGS,
+    ids=[f"{a}->{b}" for a, b in PAIRINGS],
+)
+def test_tree_search_across_architectures(caller_arch, callee_arch):
+    network = Network()
+    TypeNameServer(network.add_site("NS"), TypeRegistry())
+    runtimes = []
+    for site_id, arch_name in (("A", caller_arch), ("B", callee_arch)):
+        site = network.add_site(site_id)
+        runtime = SmartRpcRuntime(
+            network,
+            site,
+            ARCHES[arch_name],
+            resolver=TypeResolver(site, "NS"),
+        )
+        register_tree_types(runtime)
+        runtimes.append(runtime)
+    caller, callee = runtimes
+    root = build_complete_tree(caller, 31)
+    bind_tree_server(callee)
+    stub = tree_client(caller, "B")
+    with caller.session() as session:
+        assert stub.search(session, root, 31) == (
+            expected_search_checksum(31, 31)
+        )
+
+
+@pytest.mark.parametrize(
+    "caller_arch,callee_arch",
+    [("sparc32", "x86_64"), ("x86_64", "sparc32"),
+     ("alpha64", "sparc32")],
+)
+def test_updates_written_back_across_architectures(caller_arch,
+                                                   callee_arch):
+    network = Network()
+    TypeNameServer(network.add_site("NS"), TypeRegistry())
+    runtimes = []
+    for site_id, arch_name in (("A", caller_arch), ("B", callee_arch)):
+        site = network.add_site(site_id)
+        runtime = SmartRpcRuntime(
+            network,
+            site,
+            ARCHES[arch_name],
+            resolver=TypeResolver(site, "NS"),
+        )
+        register_tree_types(runtime)
+        runtimes.append(runtime)
+    caller, callee = runtimes
+    root = build_complete_tree(caller, 7)
+    bind_tree_server(callee)
+    stub = tree_client(caller, "B")
+    with caller.session() as session:
+        stub.search_update(session, root, 7)
+    spec = caller.resolver.resolve("tree_node")
+    layout = spec.layout(caller.arch)
+    data = caller.space.read_raw(root + layout.offsets["data"], 8)
+    assert int.from_bytes(data, "big") == 1  # 0 + 1, in caller layout

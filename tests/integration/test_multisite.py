@@ -1,0 +1,137 @@
+"""Multi-site integration: chains, fan-out, mixed data homes."""
+
+import pytest
+
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.workloads.traversal import TREE_OPS, bind_tree_server
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    local_tree_checksum,
+)
+from repro.xdr.types import PointerType, int32, int64
+
+
+class TestDataFromTwoHomes:
+    def test_callee_walks_trees_from_two_spaces(self, smart_pair):
+        """B dereferences pointers whose homes are A and C in one call."""
+        runtime_c = smart_pair.add_runtime("C")
+        root_a = build_complete_tree(smart_pair.a, 7)
+        root_c = build_complete_tree(runtime_c, 15)
+
+        two = InterfaceDef("two", [
+            ProcedureDef(
+                "sum_both",
+                [
+                    Param("first", PointerType(TREE_NODE_TYPE_ID)),
+                    Param("second", PointerType(TREE_NODE_TYPE_ID)),
+                ],
+                returns=int64,
+            ),
+        ])
+
+        def sum_both(ctx, first, second):
+            spec = ctx.runtime.resolver.resolve(TREE_NODE_TYPE_ID)
+
+            def walk(address):
+                if address == 0:
+                    return 0
+                view = ctx.struct_view(address, spec)
+                return (
+                    int.from_bytes(view.get("data"), "big")
+                    + walk(view.get("left"))
+                    + walk(view.get("right"))
+                )
+
+            return walk(first) + walk(second)
+
+        bind_server(smart_pair.b, two, {"sum_both": sum_both})
+
+        # A must pass a pointer to C's tree: it first obtains it as a
+        # remote pointer through a call to C.
+        expose = InterfaceDef("expose", [
+            ProcedureDef(
+                "root", [], returns=PointerType(TREE_NODE_TYPE_ID)
+            ),
+        ])
+        bind_server(runtime_c, expose, {"root": lambda ctx: root_c})
+        expose_stub = ClientStub(smart_pair.a, expose, "C")
+        two_stub = ClientStub(smart_pair.a, two, "B")
+        with smart_pair.a.session() as session:
+            c_pointer = expose_stub.root(session)
+            total = two_stub.sum_both(session, root_a, c_pointer)
+        assert total == sum(range(7)) + sum(range(15))
+
+    def test_pointer_forwarded_through_intermediate_space(self,
+                                                          smart_pair):
+        """A -> B -> C: C dereferences a pointer to A's data that it
+        received from B, never from A directly."""
+        runtime_c = smart_pair.add_runtime("C")
+        root = build_complete_tree(smart_pair.a, 15)
+        bind_tree_server(runtime_c)
+
+        relay = InterfaceDef("relay", [
+            ProcedureDef(
+                "forward",
+                [Param("root", PointerType(TREE_NODE_TYPE_ID))],
+                returns=int64,
+            ),
+        ])
+
+        def forward(ctx, root_pointer):
+            return ctx.call("C", "tree_ops.search", (root_pointer, 15))
+
+        bind_server(smart_pair.b, relay, {"forward": forward})
+        smart_pair.b.import_interface(TREE_OPS)
+        stub = ClientStub(smart_pair.a, relay, "B")
+        with smart_pair.a.session() as session:
+            checksum = stub.forward(session, root)
+        assert checksum == sum(range(15))
+
+
+class TestSequentialSessions:
+    def test_many_sessions_do_not_leak_state(self, smart_pair):
+        root = build_complete_tree(smart_pair.a, 15)
+        bind_tree_server(smart_pair.b)
+        from repro.workloads.traversal import tree_client
+
+        stub = tree_client(smart_pair.a, "B")
+        for _ in range(5):
+            with smart_pair.a.session() as session:
+                stub.search_update(session, root, 15)
+        # five sessions x one update each
+        assert local_tree_checksum(smart_pair.a, root) == (
+            sum(range(15)) + 5 * 15
+        )
+        # B holds no session state between sessions
+        assert smart_pair.b._sessions == {}
+
+    def test_concurrent_ground_sessions_isolated(self, smart_pair):
+        """Two sessions from different grounds may be open at once (the
+        single-active-thread rule is per session)."""
+        runtime_c = smart_pair.add_runtime("C")
+        root = build_complete_tree(smart_pair.a, 7)
+        bind_tree_server(smart_pair.b)
+        expose = InterfaceDef("expose", [
+            ProcedureDef(
+                "root", [], returns=PointerType(TREE_NODE_TYPE_ID)
+            ),
+        ])
+        bind_server(smart_pair.a, expose, {"root": lambda ctx: root})
+        from repro.workloads.traversal import tree_client
+
+        stub_from_a = tree_client(smart_pair.a, "B")
+        with smart_pair.a.session() as session_a:
+            stub_from_a.search(session_a, root, 7)
+            # C opens its own session while A's is still live.
+            expose_stub = ClientStub(runtime_c, expose, "A")
+            runtime_c.import_interface(TREE_OPS)
+            with runtime_c.session() as session_c:
+                pointer = expose_stub.root(session_c)
+                checksum = runtime_c.call(
+                    session_c, "B", "tree_ops.search", (pointer, 7)
+                )
+            assert checksum == sum(range(7))
+            # A's session still works after C's ended.
+            assert stub_from_a.search(session_a, root, 7) == sum(range(7))

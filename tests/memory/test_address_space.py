@@ -1,0 +1,142 @@
+"""Tests for paged address spaces and protection."""
+
+import pytest
+
+from repro.memory.address_space import REGION_BASE, AddressSpace
+from repro.memory.faults import AccessViolation, FaultKind, SegmentationError
+from repro.memory.page import Protection
+
+
+@pytest.fixture
+def space():
+    return AddressSpace("T")
+
+
+class TestMapping:
+    def test_map_region_returns_base(self, space):
+        base = space.map_region(2)
+        assert base >= REGION_BASE
+        assert base % space.page_size == 0
+        assert space.is_mapped(base)
+        assert space.is_mapped(base + 2 * space.page_size - 1)
+
+    def test_regions_do_not_overlap(self, space):
+        first = space.map_region(1)
+        second = space.map_region(1)
+        assert second >= first + space.page_size
+
+    def test_page_zero_never_mapped(self, space):
+        space.map_region(4)
+        assert not space.is_mapped(0)  # NULL stays invalid
+
+    def test_bad_region_size_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_region(0)
+
+    def test_unmap_page(self, space):
+        base = space.map_region(1)
+        number = space.page_number(base)
+        space.unmap_page(number)
+        assert not space.is_mapped(base)
+
+    def test_unmap_unmapped_page_raises(self, space):
+        with pytest.raises(SegmentationError):
+            space.unmap_page(999)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace("x", page_size=100)  # not a multiple of 8
+        with pytest.raises(ValueError):
+            AddressSpace("x", page_size=0)
+
+
+class TestCheckedAccess:
+    def test_read_write_round_trip(self, space):
+        base = space.map_region(1)
+        space.write(base + 8, b"hello")
+        assert space.read(base + 8, 5) == b"hello"
+
+    def test_fresh_pages_are_zeroed(self, space):
+        base = space.map_region(1)
+        assert space.read(base, 16) == b"\x00" * 16
+
+    def test_unmapped_read_is_segfault(self, space):
+        with pytest.raises(SegmentationError):
+            space.read(REGION_BASE, 4)
+
+    def test_protected_read_raises_access_violation(self, space):
+        base = space.map_region(1, Protection.NONE)
+        with pytest.raises(AccessViolation) as info:
+            space.read(base + 4, 4)
+        assert info.value.kind is FaultKind.READ
+        assert info.value.page_number == space.page_number(base)
+
+    def test_read_only_page_allows_read_blocks_write(self, space):
+        base = space.map_region(1, Protection.READ)
+        space.read(base, 4)
+        with pytest.raises(AccessViolation) as info:
+            space.write(base, b"1234")
+        assert info.value.kind is FaultKind.WRITE
+
+    def test_cross_page_access_checks_both_pages(self, space):
+        base = space.map_region(2)
+        boundary = base + space.page_size - 2
+        space.write(boundary, b"abcd")
+        assert space.read(boundary, 4) == b"abcd"
+        space.protect(space.page_number(base) + 1, Protection.NONE)
+        with pytest.raises(AccessViolation):
+            space.read(boundary, 4)
+
+    def test_fault_address_points_into_protected_page(self, space):
+        base = space.map_region(2)
+        second = space.page_number(base) + 1
+        space.protect(second, Protection.NONE)
+        boundary = base + space.page_size - 2
+        with pytest.raises(AccessViolation) as info:
+            space.read(boundary, 4)
+        assert info.value.address == second * space.page_size
+
+    def test_negative_size_rejected(self, space):
+        base = space.map_region(1)
+        with pytest.raises(ValueError):
+            space.read(base, -1)
+
+
+class TestRawAccess:
+    def test_raw_ignores_protection(self, space):
+        base = space.map_region(1, Protection.NONE)
+        space.write_raw(base, b"secret")
+        assert space.read_raw(base, 6) == b"secret"
+
+    def test_raw_cross_page(self, space):
+        base = space.map_region(2, Protection.NONE)
+        data = bytes(range(100))
+        space.write_raw(base + space.page_size - 50, data)
+        assert space.read_raw(base + space.page_size - 50, 100) == data
+
+    def test_raw_unmapped_still_segfaults(self, space):
+        with pytest.raises(SegmentationError):
+            space.read_raw(REGION_BASE, 1)
+
+
+class TestProtection:
+    def test_protect_changes_protection(self, space):
+        base = space.map_region(1)
+        number = space.page_number(base)
+        assert space.protection_of(number) is Protection.READ_WRITE
+        space.protect(number, Protection.NONE)
+        assert space.protection_of(number) is Protection.NONE
+
+    def test_protection_enum_semantics(self):
+        assert not Protection.NONE.allows_read()
+        assert not Protection.NONE.allows_write()
+        assert Protection.READ.allows_read()
+        assert not Protection.READ.allows_write()
+        assert Protection.READ_WRITE.allows_read()
+        assert Protection.READ_WRITE.allows_write()
+
+    def test_mapped_pages_sorted(self, space):
+        space.map_region(3)
+        pages = space.mapped_pages
+        assert pages == sorted(pages)
+        assert len(pages) == 3

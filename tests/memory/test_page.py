@@ -1,0 +1,31 @@
+"""Tests for pages and protection values."""
+
+from repro.memory.page import PAGE_SIZE_DEFAULT, Page, Protection
+
+
+class TestPage:
+    def test_default_size_matches_sunos_sparc(self):
+        assert PAGE_SIZE_DEFAULT == 4096  # the paper's testbed
+
+    def test_base_address(self):
+        page = Page(5)
+        assert page.base_address == 5 * 4096
+
+    def test_contains(self):
+        page = Page(2)
+        assert page.contains(2 * 4096)
+        assert page.contains(3 * 4096 - 1)
+        assert not page.contains(3 * 4096)
+        assert not page.contains(2 * 4096 - 1)
+
+    def test_data_zeroed_on_creation(self):
+        page = Page(0, size=64)
+        assert bytes(page.data) == b"\x00" * 64
+
+    def test_default_protection_read_write(self):
+        assert Page(0).protection is Protection.READ_WRITE
+
+    def test_custom_size(self):
+        page = Page(1, size=8192)
+        assert page.size == 8192
+        assert page.base_address == 8192

@@ -1,0 +1,90 @@
+"""Tests for the type name server and resolver."""
+
+import pytest
+
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.server import TypeNameServer
+from repro.simnet.network import Network
+from repro.xdr.errors import XdrError
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.types import Field, PointerType, StructType, int32
+
+NODE = StructType("node", [
+    Field("next", PointerType("node")),
+    Field("value", int32),
+])
+
+
+@pytest.fixture
+def world():
+    network = Network()
+    server = TypeNameServer(network.add_site("NS"), TypeRegistry())
+    site = network.add_site("A")
+    resolver = TypeResolver(site, "NS")
+    return network, server, resolver
+
+
+class TestResolution:
+    def test_resolves_from_server(self, world):
+        network, server, resolver = world
+        server.publish("node", NODE)
+        assert resolver.resolve("node") == NODE
+
+    def test_unknown_type_raises(self, world):
+        network, server, resolver = world
+        with pytest.raises(XdrError):
+            resolver.resolve("mystery")
+
+    def test_local_registration_skips_network(self, world):
+        network, server, resolver = world
+        resolver.register("node", NODE)
+        before = network.stats.total_messages
+        resolver.resolve("node")
+        assert network.stats.total_messages == before
+        assert resolver.queries_sent == 0
+
+    def test_result_cached_after_first_query(self, world):
+        network, server, resolver = world
+        server.publish("node", NODE)
+        resolver.resolve("node")
+        first = network.stats.total_messages
+        resolver.resolve("node")
+        assert network.stats.total_messages == first
+        assert resolver.queries_sent == 1
+
+    def test_knows_reflects_cache(self, world):
+        network, server, resolver = world
+        server.publish("node", NODE)
+        assert not resolver.knows("node")
+        resolver.resolve("node")
+        assert resolver.knows("node")
+
+    def test_query_charges_simulated_time(self, world):
+        network, server, resolver = world
+        server.publish("node", NODE)
+        before = network.clock.now
+        resolver.resolve("node")
+        assert network.clock.now > before
+
+
+class TestServerlessResolver:
+    def test_acts_as_local_registry(self):
+        network = Network()
+        site = network.add_site("A")
+        resolver = TypeResolver(site, server_site_id=None)
+        resolver.register("node", NODE)
+        assert resolver.resolve("node") == NODE
+        with pytest.raises(XdrError):
+            resolver.resolve("other")
+
+
+class TestMultiSite:
+    def test_two_sites_see_same_definition(self):
+        network = Network()
+        server = TypeNameServer(network.add_site("NS"), TypeRegistry())
+        server.publish("node", NODE)
+        resolvers = []
+        for site_id in ("A", "B"):
+            site = network.add_site(site_id)
+            resolvers.append(TypeResolver(site, "NS"))
+        assert resolvers[0].resolve("node") == resolvers[1].resolve("node")

@@ -1,0 +1,80 @@
+"""Property-based round trips for RPC value marshalling."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpc import marshal
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    EnumType,
+    Field,
+    OpaqueType,
+    StructType,
+    UnionType,
+    float64,
+    int32,
+    int64,
+)
+
+COLOR = EnumType("color", {"RED": 0, "GREEN": 1, "BLUE": 2})
+SHAPE = UnionType(
+    "shape",
+    COLOR,
+    {"RED": int32, "GREEN": float64, "BLUE": OpaqueType(4)},
+)
+RECORD = StructType("record", [
+    Field("a", int32),
+    Field("c", COLOR),
+    Field("u", SHAPE),
+    Field("xs", ArrayType(int64, 2)),
+])
+
+
+def round_trip(spec, value):
+    encoder = XdrEncoder()
+    marshal.pack_value(encoder, spec, value)
+    decoder = XdrDecoder(encoder.getvalue())
+    result = marshal.unpack_value(decoder, spec)
+    decoder.expect_done()
+    return result
+
+
+union_values = st.one_of(
+    st.tuples(
+        st.just("RED"),
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    ),
+    st.tuples(
+        st.just("GREEN"),
+        st.floats(allow_nan=False, allow_infinity=False),
+    ),
+    st.tuples(st.just("BLUE"), st.binary(min_size=4, max_size=4)),
+).map(lambda pair: {"arm": pair[0], "value": pair[1]})
+
+
+class TestMarshalRoundTrips:
+    @settings(max_examples=60)
+    @given(st.sampled_from(sorted(COLOR.members)))
+    def test_enum(self, member):
+        assert round_trip(COLOR, member) == member
+
+    @settings(max_examples=60)
+    @given(union_values)
+    def test_union(self, value):
+        assert round_trip(SHAPE, value) == value
+
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.sampled_from(sorted(COLOR.members)),
+        union_values,
+        st.lists(
+            st.integers(min_value=-(2**63), max_value=2**63 - 1),
+            min_size=2,
+            max_size=2,
+        ),
+    )
+    def test_struct_with_enum_and_union(self, a, color, union, xs):
+        value = {"a": a, "c": color, "u": union, "xs": xs}
+        assert round_trip(RECORD, value) == value

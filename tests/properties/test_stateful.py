@@ -1,0 +1,151 @@
+"""Stateful property test: random RPC histories preserve semantics.
+
+A hypothesis state machine drives a three-site deployment through
+random sequences of remote list operations — traversals, in-place
+mutations, remote allocation and release, session boundaries — while
+maintaining a plain-Python model of every list.  After every step the
+remote state must agree with the model and every session must satisfy
+the internal invariants of the smart-RPC runtime.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.server import TypeNameServer
+from repro.simnet.network import Network
+from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+from repro.smartrpc.validate import validate_session
+from repro.workloads.linked_list import (
+    LIST_OPS,
+    bind_list_server,
+    build_list,
+    list_client,
+    read_list,
+    register_list_types,
+)
+from repro.xdr.arch import SPARC32, X86_64
+from repro.xdr.registry import TypeRegistry
+
+VALUES = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=8
+)
+
+
+class ListRpcMachine(RuleBasedStateMachine):
+    """Random remote list manipulation against a Python model."""
+
+    @initialize()
+    def setup(self):
+        self.network = Network()
+        TypeNameServer(self.network.add_site("NS"), TypeRegistry())
+        self.runtimes = {}
+        for site_id, arch in (("A", SPARC32), ("B", X86_64)):
+            site = self.network.add_site(site_id)
+            runtime = SmartRpcRuntime(
+                self.network, site, arch,
+                resolver=TypeResolver(site, "NS"),
+            )
+            register_list_types(runtime)
+            self.runtimes[site_id] = runtime
+        bind_list_server(self.runtimes["B"])
+        self.runtimes["A"].import_interface(LIST_OPS)
+        self.client = list_client(self.runtimes["A"], "B")
+        self.session = None
+        self.lists = {}   # head address -> model list
+        self.next_value = 0
+
+    # -- session management -----------------------------------------------
+
+    @precondition(lambda self: self.session is None)
+    @rule()
+    def open_session(self):
+        self.session = self.runtimes["A"].session()
+        self.session.__enter__()
+
+    @precondition(lambda self: self.session is not None)
+    @rule()
+    def close_session(self):
+        self.session.__exit__(None, None, None)
+        self.session = None
+
+    # -- list operations ------------------------------------------------------
+
+    @rule(values=VALUES)
+    def build(self, values):
+        head = build_list(self.runtimes["A"], values)
+        self.lists[head] = list(values)
+
+    @precondition(lambda self: self.session and self.lists)
+    @rule(factor=st.integers(min_value=-3, max_value=3),
+          data=st.data())
+    def scale(self, factor, data):
+        head = data.draw(st.sampled_from(sorted(self.lists)))
+        self.client.scale(self.session, head, factor)
+        self.lists[head] = [v * factor for v in self.lists[head]]
+
+    @precondition(lambda self: self.session and self.lists)
+    @rule(count=st.integers(min_value=1, max_value=4), data=st.data())
+    def append(self, count, data):
+        head = data.draw(st.sampled_from(sorted(self.lists)))
+        start = self.next_value
+        self.next_value += count
+        self.client.append_range(self.session, head, start, count)
+        self.lists[head] += list(range(start, start + count))
+
+    @precondition(lambda self: self.session and self.lists)
+    @rule(data=st.data())
+    def total(self, data):
+        head = data.draw(st.sampled_from(sorted(self.lists)))
+        assert self.client.total(self.session, head) == sum(
+            self.lists[head]
+        )
+
+    @precondition(lambda self: self.session and self.lists)
+    @rule(data=st.data())
+    def drop_negatives(self, data):
+        head = data.draw(st.sampled_from(sorted(self.lists)))
+        new_head = self.client.drop_negatives(self.session, head)
+        model = [v for v in self.lists.pop(head) if v >= 0]
+        if new_head != 0:
+            self.lists[new_head] = model
+        else:
+            assert model == []
+
+    # -- invariants ----------------------------------------------------------------
+
+    @invariant()
+    def home_memory_matches_model_between_sessions(self):
+        # Outside a session every model list must be materialised in
+        # A's heap exactly (all dirty data written back).
+        if getattr(self, "session", None) is None and hasattr(
+            self, "lists"
+        ):
+            for head, model in self.lists.items():
+                assert read_list(self.runtimes["A"], head) == model
+
+    @invariant()
+    def smart_sessions_internally_consistent(self):
+        if not hasattr(self, "runtimes"):
+            return
+        for runtime in self.runtimes.values():
+            for state in runtime._sessions.values():
+                if isinstance(state, SmartSessionState):
+                    validate_session(runtime, state)
+
+    def teardown(self):
+        if getattr(self, "session", None) is not None:
+            self.session.__exit__(None, None, None)
+
+
+TestListRpcStateMachine = ListRpcMachine.TestCase
+TestListRpcStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

@@ -1,0 +1,188 @@
+"""Tests for remote function references (the §6 extension)."""
+
+import pytest
+
+from repro.rpc.errors import MarshalError, RpcError
+from repro.rpc.funcref import FuncRef, FuncRefType, invoke
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.workloads.linked_list import (
+    LIST_NODE_TYPE_ID,
+    build_list,
+    read_list,
+)
+from repro.xdr.arch import SPARC32
+from repro.xdr.errors import XdrError
+from repro.xdr.types import PointerType, int32
+
+MAPPER = ProcedureDef("mapper", [Param("x", int32)], returns=int32)
+
+LOCAL_FUNCS = InterfaceDef("local_funcs", [
+    ProcedureDef("double", [Param("x", int32)], returns=int32),
+    ProcedureDef("negate", [Param("x", int32)], returns=int32),
+])
+
+APPLY = InterfaceDef("apply", [
+    ProcedureDef(
+        "map_list",
+        [
+            Param("head", PointerType(LIST_NODE_TYPE_ID)),
+            Param("f", FuncRefType(MAPPER)),
+        ],
+        returns=int32,
+    ),
+    ProcedureDef(
+        "apply_twice",
+        [Param("x", int32), Param("f", FuncRefType(MAPPER))],
+        returns=int32,
+    ),
+])
+
+
+def map_list(ctx, head, f):
+    spec = ctx.runtime.resolver.resolve(LIST_NODE_TYPE_ID)
+    count = 0
+    address = head
+    while address != 0:
+        view = ctx.struct_view(address, spec)
+        view.set("value", invoke(ctx, f, (view.get("value"),)))
+        count += 1
+        address = view.get("next")
+    return count
+
+
+def apply_twice(ctx, x, f):
+    return invoke(ctx, f, (invoke(ctx, f, (x,)),))
+
+
+@pytest.fixture
+def served(smart_pair):
+    bind_server(smart_pair.a, LOCAL_FUNCS, {
+        "double": lambda ctx, x: 2 * x,
+        "negate": lambda ctx, x: -x,
+    })
+    bind_server(smart_pair.b, APPLY, {
+        "map_list": map_list,
+        "apply_twice": apply_twice,
+    })
+    return smart_pair, ClientStub(smart_pair.a, APPLY, "B")
+
+
+class TestFuncRefValues:
+    def test_func_ref_requires_local_implementation(self, smart_pair):
+        with pytest.raises(RpcError):
+            smart_pair.b.func_ref(LOCAL_FUNCS, "double")
+
+    def test_func_ref_carries_signature(self, served):
+        pair, stub = served
+        ref = pair.a.func_ref(LOCAL_FUNCS, "double")
+        assert ref.space_id == "A"
+        assert ref.qualified == "local_funcs.double"
+        assert ref.signature.name == "double"
+
+    def test_func_ref_type_has_no_layout(self):
+        spec = FuncRefType(MAPPER)
+        with pytest.raises(XdrError):
+            spec.sizeof(SPARC32)
+        with pytest.raises(XdrError):
+            spec.alignment(SPARC32)
+
+    def test_equality_by_signature_name(self):
+        assert FuncRefType(MAPPER) == FuncRefType(
+            ProcedureDef("mapper", [Param("y", int32)], returns=int32)
+        )
+
+
+class TestHigherOrderCalls:
+    def test_callee_invokes_caller_function(self, served):
+        """The classic callback motivation, now first-class."""
+        pair, stub = served
+        with pair.a.session() as session:
+            assert stub.apply_twice(
+                session, 5, pair.a.func_ref(LOCAL_FUNCS, "double")
+            ) == 20
+
+    def test_function_choice_is_dynamic(self, served):
+        pair, stub = served
+        with pair.a.session() as session:
+            doubled = stub.apply_twice(
+                session, 3, pair.a.func_ref(LOCAL_FUNCS, "double")
+            )
+            negated = stub.apply_twice(
+                session, 3, pair.a.func_ref(LOCAL_FUNCS, "negate")
+            )
+        assert (doubled, negated) == (12, 3)
+
+    def test_map_over_remote_list_with_remote_function(self, served):
+        """Pointers AND function references in one call: the two
+        methods compose, as the paper's conclusion predicts."""
+        pair, stub = served
+        head = build_list(pair.a, [1, 2, 3])
+        with pair.a.session() as session:
+            count = stub.map_list(
+                session, head, pair.a.func_ref(LOCAL_FUNCS, "double")
+            )
+        assert count == 3
+        assert read_list(pair.a, head) == [2, 4, 6]
+
+    def test_invoking_local_reference_skips_network(self, served):
+        pair, stub = served
+        bind_server(pair.b, LOCAL_FUNCS, {
+            "double": lambda ctx, x: 2 * x,
+            "negate": lambda ctx, x: -x,
+        })
+
+        probe = InterfaceDef("probe", [
+            ProcedureDef(
+                "self_apply",
+                [Param("x", int32), Param("f", FuncRefType(MAPPER))],
+                returns=int32,
+            ),
+        ])
+
+        def self_apply(ctx, x, f):
+            before = ctx.runtime.stats.total_messages
+            result = invoke(ctx, f, (x,))
+            assert ctx.runtime.stats.total_messages == before
+            return result
+
+        bind_server(pair.b, probe, {"self_apply": self_apply})
+        stub2 = ClientStub(pair.a, probe, "B")
+        with pair.a.session() as session:
+            # B passes ITS OWN function: invoking it on B is local.
+            b_ref = pair.b.func_ref(LOCAL_FUNCS, "negate")
+            assert stub2.self_apply(session, 9, b_ref) == -9
+
+    def test_non_funcref_value_rejected(self, served):
+        pair, stub = served
+        with pair.a.session() as session:
+            with pytest.raises(MarshalError):
+                stub.apply_twice(session, 1, "not-a-function")
+
+    def test_funcref_round_trip_through_forwarding(self, served):
+        """A reference forwarded A -> B -> C still calls back to A."""
+        pair, stub = served
+        runtime_c = pair.add_runtime("C")
+        bind_server(runtime_c, APPLY, {
+            "map_list": map_list,
+            "apply_twice": apply_twice,
+        })
+        forward = InterfaceDef("forwarding", [
+            ProcedureDef(
+                "via",
+                [Param("x", int32), Param("f", FuncRefType(MAPPER))],
+                returns=int32,
+            ),
+        ])
+
+        def via(ctx, x, f):
+            return ctx.call("C", "apply.apply_twice", (x, f))
+
+        bind_server(pair.b, forward, {"via": via})
+        pair.b.import_interface(APPLY)
+        stub2 = ClientStub(pair.a, forward, "B")
+        with pair.a.session() as session:
+            result = stub2.via(
+                session, 2, pair.a.func_ref(LOCAL_FUNCS, "double")
+            )
+        assert result == 8

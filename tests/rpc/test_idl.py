@@ -1,0 +1,199 @@
+"""Tests for the textual IDL front-end."""
+
+import pytest
+
+from repro.rpc.idl import IdlError, compile_idl, parse_idl
+from repro.xdr.arch import SPARC32
+from repro.xdr.types import (
+    ArrayType,
+    OpaqueType,
+    PointerType,
+    ScalarType,
+    StructType,
+)
+
+TREE_IDL = """
+// the paper's experimental subject
+struct tree_node {
+    tree_node *left;
+    tree_node *right;
+    opaque data[8];
+};
+
+interface tree_ops {
+    int64 search(tree_node *root, int32 target);
+    void ping();
+};
+"""
+
+
+class TestStructs:
+    def test_tree_node_parses_to_16_bytes(self):
+        document = parse_idl(TREE_IDL)
+        node = document.struct("tree_node")
+        assert node.sizeof(SPARC32) == 16
+
+    def test_recursive_pointer_fields(self):
+        document = parse_idl(TREE_IDL)
+        node = document.struct("tree_node")
+        assert isinstance(node.field("left").spec, PointerType)
+        assert node.field("left").spec.target_type_id == "tree_node"
+
+    def test_scalar_fields(self):
+        document = parse_idl("""
+        struct mixed {
+            int8 a;
+            uint64 b;
+            float64 c;
+        };
+        """)
+        mixed = document.struct("mixed")
+        assert isinstance(mixed.field("a").spec, ScalarType)
+        assert mixed.field("b").spec.kind.size == 8
+
+    def test_array_fields(self):
+        document = parse_idl("""
+        struct vec { int32 xs[4]; };
+        """)
+        spec = document.struct("vec").field("xs").spec
+        assert isinstance(spec, ArrayType) and spec.count == 4
+
+    def test_array_of_pointers(self):
+        document = parse_idl("""
+        struct node { node *next; int32 v; };
+        struct table { node *buckets[8]; };
+        """)
+        spec = document.struct("table").field("buckets").spec
+        assert isinstance(spec, ArrayType)
+        assert isinstance(spec.element, PointerType)
+
+    def test_by_value_embedding_after_definition(self):
+        document = parse_idl("""
+        struct point { int32 x; int32 y; };
+        struct segment { point a; point b; };
+        """)
+        segment = document.struct("segment")
+        assert isinstance(segment.field("a").spec, StructType)
+        assert segment.sizeof(SPARC32) == 16
+
+    def test_by_value_before_definition_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("""
+            struct segment { point a; };
+            struct point { int32 x; };
+            """)
+
+    def test_opaque_field(self):
+        document = parse_idl("struct blob { opaque bytes[12]; };")
+        assert isinstance(
+            document.struct("blob").field("bytes").spec, OpaqueType
+        )
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("struct nothing { };")
+
+    def test_duplicate_struct_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("""
+            struct s { int32 v; };
+            struct s { int32 w; };
+            """)
+
+    def test_dangling_pointer_target_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("struct s { ghost *p; };")
+
+
+class TestInterfaces:
+    def test_procedures_parsed(self):
+        document = parse_idl(TREE_IDL)
+        interface = document.interface("tree_ops")
+        search = interface.procedure("search")
+        assert [p.name for p in search.params] == ["root", "target"]
+        assert isinstance(search.params[0].spec, PointerType)
+
+    def test_void_return(self):
+        document = parse_idl(TREE_IDL)
+        assert document.interface("tree_ops").procedure("ping").returns \
+            is None
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("interface i { int32 f(void x); };")
+
+    def test_pointer_to_scalar_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("interface i { int32 f(int32 *p); };")
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("union u { int32 v; };")
+
+    def test_garbage_character_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("struct s { int32 v; } $;")
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(IdlError):
+            parse_idl("struct s { int32 v;")
+
+
+class TestEndToEnd:
+    def test_parsed_interface_serves_calls(self, smart_pair):
+        document = parse_idl(TREE_IDL)
+        for runtime in (smart_pair.a, smart_pair.b):
+            # tree_node is already registered identically by the
+            # fixture; re-registration must be idempotent.
+            document.register_types(runtime.resolver)
+        from repro.rpc.stubgen import ClientStub, bind_server
+        from repro.workloads.traversal import search
+        from repro.workloads.trees import build_complete_tree
+
+        interface = document.interface("tree_ops")
+        bind_server(
+            smart_pair.b,
+            interface,
+            {"search": search, "ping": lambda ctx: None},
+        )
+        root = build_complete_tree(smart_pair.a, 15)
+        stub = ClientStub(smart_pair.a, interface, "B")
+        with smart_pair.a.session() as session:
+            assert stub.search(session, root, 15) == sum(range(15))
+            stub.ping(session)
+
+    def test_compile_idl_emits_stub_source(self):
+        source = compile_idl(TREE_IDL)
+        namespace = {}
+        exec(compile(source, "<idl>", "exec"), namespace)
+        assert "TreeOpsClient" in namespace
+
+    def test_comments_ignored(self):
+        document = parse_idl("""
+        // leading comment
+        struct s { int32 v; };  // trailing comment
+        """)
+        assert document.struct("s").field("v").spec.kind.size == 4
+
+
+class TestFileLoading:
+    def test_load_idl_from_file(self, tmp_path):
+        from repro.rpc.idl import load_idl
+
+        path = tmp_path / "svc.x"
+        path.write_text("struct s { int32 v; };")
+        document = load_idl(path)
+        assert document.struct("s").sizeof(SPARC32) == 4
+
+    def test_example_inventory_idl_parses(self):
+        import pathlib
+
+        from repro.rpc.idl import load_idl
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "examples" / "interfaces" / "inventory.x"
+        )
+        document = load_idl(path)
+        assert document.interface("inventory").procedure("restock")
+        assert document.enum("status").value_of("BACK_ORDER") == 1

@@ -1,0 +1,70 @@
+"""Tests for interface definitions."""
+
+import pytest
+
+from repro.rpc.errors import RpcError
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.xdr.types import PointerType, int32
+
+
+def simple_interface():
+    return InterfaceDef("math", [
+        ProcedureDef("add", [Param("x", int32), Param("y", int32)],
+                     returns=int32),
+        ProcedureDef("noop", [], returns=None),
+    ])
+
+
+class TestProcedureDef:
+    def test_holds_signature(self):
+        proc = ProcedureDef("f", [Param("a", int32)], returns=int32)
+        assert proc.name == "f"
+        assert [p.name for p in proc.params] == ["a"]
+        assert proc.returns is int32
+
+    def test_void_return(self):
+        assert ProcedureDef("f", []).returns is None
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(RpcError):
+            ProcedureDef("has space", [])
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(RpcError):
+            ProcedureDef("f", [Param("a", int32), Param("a", int32)])
+
+
+class TestInterfaceDef:
+    def test_lookup_by_name(self):
+        interface = simple_interface()
+        assert interface.procedure("add").name == "add"
+
+    def test_unknown_procedure_rejected(self):
+        with pytest.raises(RpcError):
+            simple_interface().procedure("mul")
+
+    def test_qualified_names(self):
+        assert simple_interface().qualified("add") == "math.add"
+
+    def test_procedures_in_declaration_order(self):
+        names = [p.name for p in simple_interface().procedures]
+        assert names == ["add", "noop"]
+
+    def test_duplicate_procedure_rejected(self):
+        with pytest.raises(RpcError):
+            InterfaceDef("i", [
+                ProcedureDef("f", []),
+                ProcedureDef("f", []),
+            ])
+
+    def test_bad_interface_name_rejected(self):
+        with pytest.raises(RpcError):
+            InterfaceDef("bad name", [])
+
+    def test_pointer_params_declarable(self):
+        interface = InterfaceDef("t", [
+            ProcedureDef("walk", [Param("root", PointerType("node"))],
+                         returns=int32),
+        ])
+        spec = interface.procedure("walk").params[0].spec
+        assert isinstance(spec, PointerType)

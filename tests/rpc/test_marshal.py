@@ -1,0 +1,160 @@
+"""Tests for argument/result marshalling."""
+
+import pytest
+
+from repro.rpc import marshal
+from repro.rpc.errors import MarshalError, PointerNotSupportedError
+from repro.rpc.interface import Param, ProcedureDef
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    Field,
+    OpaqueType,
+    PointerType,
+    StructType,
+    float32,
+    float64,
+    int8,
+    int16,
+    int32,
+    int64,
+    uint32,
+    uint64,
+)
+
+
+def round_trip_value(spec, value):
+    encoder = XdrEncoder()
+    marshal.pack_value(encoder, spec, value)
+    decoder = XdrDecoder(encoder.getvalue())
+    result = marshal.unpack_value(decoder, spec)
+    decoder.expect_done()
+    return result
+
+
+class TestScalars:
+    @pytest.mark.parametrize("spec,value", [
+        (int8, -5), (int16, 1000), (int32, -(2**31)), (int64, 2**60),
+        (uint32, 2**32 - 1), (uint64, 2**64 - 1),
+        (float64, 2.5), (float32, 0.25),
+    ])
+    def test_round_trip(self, spec, value):
+        assert round_trip_value(spec, value) == value
+
+    def test_int_given_float_rejected(self):
+        with pytest.raises(MarshalError):
+            round_trip_value(int32, 1.5)
+
+    def test_int_given_bool_rejected(self):
+        with pytest.raises(MarshalError):
+            round_trip_value(int32, True)
+
+    def test_float_given_string_rejected(self):
+        with pytest.raises(MarshalError):
+            round_trip_value(float64, "x")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(MarshalError):
+            round_trip_value(int32, 2**40)
+
+
+class TestAggregates:
+    def test_opaque_round_trip(self):
+        assert round_trip_value(OpaqueType(4), b"abcd") == b"abcd"
+
+    def test_opaque_wrong_length_rejected(self):
+        with pytest.raises(MarshalError):
+            round_trip_value(OpaqueType(4), b"ab")
+
+    def test_array_round_trip(self):
+        assert round_trip_value(ArrayType(int32, 3), [1, 2, 3]) == [1, 2, 3]
+
+    def test_array_wrong_count_rejected(self):
+        with pytest.raises(MarshalError):
+            round_trip_value(ArrayType(int32, 3), [1, 2])
+
+    def test_struct_round_trip(self):
+        spec = StructType("pair", [Field("a", int32), Field("b", float64)])
+        assert round_trip_value(spec, {"a": 1, "b": 2.0}) == {
+            "a": 1, "b": 2.0,
+        }
+
+    def test_struct_missing_field_rejected(self):
+        spec = StructType("pair", [Field("a", int32), Field("b", int32)])
+        with pytest.raises(MarshalError):
+            round_trip_value(spec, {"a": 1})
+
+    def test_struct_extra_field_rejected(self):
+        spec = StructType("pair", [Field("a", int32)])
+        with pytest.raises(MarshalError):
+            round_trip_value(spec, {"a": 1, "z": 2})
+
+    def test_nested_struct_round_trip(self):
+        inner = StructType("inner", [Field("v", int32)])
+        outer = StructType("outer", [
+            Field("i", inner),
+            Field("tags", ArrayType(OpaqueType(2), 2)),
+        ])
+        value = {"i": {"v": 9}, "tags": [b"ab", b"cd"]}
+        assert round_trip_value(outer, value) == value
+
+
+class TestPointersRefused:
+    """The conventional marshaller reproduces the paper's restriction."""
+
+    def test_pack_pointer_refused(self):
+        with pytest.raises(PointerNotSupportedError):
+            marshal.pack_value(XdrEncoder(), PointerType("t"), 0x10)
+
+    def test_unpack_pointer_refused(self):
+        with pytest.raises(PointerNotSupportedError):
+            marshal.unpack_value(XdrDecoder(b""), PointerType("t"))
+
+    def test_pointer_inside_struct_refused(self):
+        spec = StructType("s", [Field("p", PointerType("t"))])
+        with pytest.raises(PointerNotSupportedError):
+            marshal.pack_value(XdrEncoder(), spec, {"p": 0x10})
+
+    def test_custom_hook_accepts_pointer(self):
+        calls = []
+
+        def hook(encoder, pointer, type_id):
+            calls.append((pointer, type_id))
+            encoder.pack_uint32(pointer)
+
+        marshal.pack_value(XdrEncoder(), PointerType("t"), 0x20, hook)
+        assert calls == [(0x20, "t")]
+
+
+class TestArgumentVectors:
+    PROC = ProcedureDef(
+        "f", [Param("a", int32), Param("b", OpaqueType(2))], returns=int64
+    )
+
+    def test_args_round_trip(self):
+        encoder = XdrEncoder()
+        marshal.pack_args(encoder, self.PROC, [5, b"hi"])
+        decoder = XdrDecoder(encoder.getvalue())
+        assert marshal.unpack_args(decoder, self.PROC) == [5, b"hi"]
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(MarshalError):
+            marshal.pack_args(XdrEncoder(), self.PROC, [5])
+
+    def test_result_round_trip(self):
+        encoder = XdrEncoder()
+        marshal.pack_result(encoder, self.PROC, 77)
+        decoder = XdrDecoder(encoder.getvalue())
+        assert marshal.unpack_result(decoder, self.PROC) == 77
+
+    def test_void_result(self):
+        void = ProcedureDef("g", [])
+        encoder = XdrEncoder()
+        marshal.pack_result(encoder, void, None)
+        assert encoder.getvalue() == b""
+        assert marshal.unpack_result(XdrDecoder(b""), void) is None
+
+    def test_void_result_with_value_rejected(self):
+        void = ProcedureDef("g", [])
+        with pytest.raises(MarshalError):
+            marshal.pack_result(XdrEncoder(), void, 1)

@@ -1,0 +1,144 @@
+"""Tests for the lossy transport: retransmission and at-most-once."""
+
+import pytest
+
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.server import TypeNameServer
+from repro.simnet.clock import CostModel
+from repro.simnet.message import MessageKind
+from repro.simnet.network import Network, TransportError
+from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.workloads.traversal import (
+    bind_tree_server,
+    expected_search_checksum,
+    tree_client,
+)
+from repro.workloads.trees import build_complete_tree, register_tree_types
+from repro.xdr.arch import SPARC32
+from repro.xdr.registry import TypeRegistry
+
+
+def lossy_network(rate, seed=7):
+    return Network(
+        cost_model=CostModel(message_latency=1e-4),
+        loss_rate=rate,
+        loss_seed=seed,
+    )
+
+
+class TestRawExchanges:
+    def test_bad_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Network(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            Network(loss_rate=-0.1)
+
+    def test_handler_runs_exactly_once_per_logical_send(self):
+        network = lossy_network(0.4)
+        network.add_site("A")
+        b = network.add_site("B")
+        executions = []
+        b.register_handler(
+            MessageKind.CALL,
+            lambda m: executions.append(m.payload) or b"ok",
+        )
+        for index in range(30):
+            reply = network.send(
+                "A", "B", MessageKind.CALL,
+                str(index).encode(), MessageKind.REPLY,
+            )
+            assert reply == b"ok"
+        assert len(executions) == 30  # no duplicate executions
+
+    def test_retransmissions_counted_as_messages(self):
+        network = lossy_network(0.4)
+        network.add_site("A")
+        b = network.add_site("B")
+        b.register_handler(MessageKind.CALL, lambda m: b"ok")
+        for _ in range(20):
+            network.send("A", "B", MessageKind.CALL, b"x",
+                         MessageKind.REPLY)
+        # 20 exchanges at 40% loss need strictly more than 40 messages.
+        assert network.stats.total_messages > 40
+
+    def test_timeouts_charge_simulated_time(self):
+        lossless = lossy_network(0.0)
+        lossy = lossy_network(0.5)
+        for network in (lossless, lossy):
+            network.add_site("A")
+            b = network.add_site("B")
+            b.register_handler(MessageKind.CALL, lambda m: b"")
+            for _ in range(20):
+                network.send("A", "B", MessageKind.CALL, b"x",
+                             MessageKind.REPLY)
+        assert lossy.clock.now > lossless.clock.now
+
+    def test_pathological_loss_raises_transport_error(self):
+        network = lossy_network(0.99, seed=3)
+        network.add_site("A")
+        b = network.add_site("B")
+        b.register_handler(MessageKind.CALL, lambda m: b"")
+        with pytest.raises(TransportError):
+            for _ in range(200):
+                network.send("A", "B", MessageKind.CALL, b"x",
+                             MessageKind.REPLY)
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            network = lossy_network(0.3, seed=seed)
+            network.add_site("A")
+            b = network.add_site("B")
+            b.register_handler(MessageKind.CALL, lambda m: b"ok")
+            for _ in range(10):
+                network.send("A", "B", MessageKind.CALL, b"x",
+                             MessageKind.REPLY)
+            return network.stats.total_messages, network.clock.now
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestSmartRpcOverLossyTransport:
+    def test_remote_search_correct_despite_loss(self):
+        network = Network(loss_rate=0.15, loss_seed=11)
+        TypeNameServer(network.add_site("NS"), TypeRegistry())
+        runtimes = []
+        for site_id in ("A", "B"):
+            site = network.add_site(site_id)
+            runtime = SmartRpcRuntime(
+                network, site, SPARC32,
+                resolver=TypeResolver(site, "NS"),
+            )
+            register_tree_types(runtime)
+            runtimes.append(runtime)
+        caller, callee = runtimes
+        root = build_complete_tree(caller, 63)
+        bind_tree_server(callee)
+        stub = tree_client(caller, "B")
+        with caller.session() as session:
+            assert stub.search(session, root, 63) == (
+                expected_search_checksum(63, 63)
+            )
+
+    def test_updates_survive_lossy_write_back(self):
+        network = Network(loss_rate=0.15, loss_seed=13)
+        TypeNameServer(network.add_site("NS"), TypeRegistry())
+        runtimes = []
+        for site_id in ("A", "B"):
+            site = network.add_site(site_id)
+            runtime = SmartRpcRuntime(
+                network, site, SPARC32,
+                resolver=TypeResolver(site, "NS"),
+            )
+            register_tree_types(runtime)
+            runtimes.append(runtime)
+        caller, callee = runtimes
+        root = build_complete_tree(caller, 15)
+        bind_tree_server(callee)
+        stub = tree_client(caller, "B")
+        with caller.session() as session:
+            stub.search_update(session, root, 15)
+        spec = caller.resolver.resolve("tree_node")
+        layout = spec.layout(caller.arch)
+        data = caller.space.read_raw(root + layout.offsets["data"], 8)
+        assert int.from_bytes(data, "big") == 1

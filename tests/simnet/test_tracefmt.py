@@ -1,0 +1,67 @@
+"""Tests for trace formatting."""
+
+from repro.simnet.stats import StatsCollector, TraceEvent
+from repro.simnet.tracefmt import format_timeline, summarize_trace
+
+
+def events():
+    return [
+        TraceEvent(0.001, "message", "A->B call"),
+        TraceEvent(0.002, "fault", "page 5 read"),
+        TraceEvent(0.003, "message", "B->A data_request"),
+    ]
+
+
+class TestFormatTimeline:
+    def test_all_events_rendered(self):
+        text = format_timeline(events())
+        assert "A->B call" in text
+        assert "page 5 read" in text
+        assert text.splitlines()[0].startswith("t (ms)")
+
+    def test_times_in_milliseconds(self):
+        text = format_timeline(events())
+        assert "1.000" in text and "3.000" in text
+
+    def test_category_filter(self):
+        text = format_timeline(events(), categories=["fault"])
+        assert "page 5 read" in text
+        assert "A->B call" not in text
+
+    def test_limit_notes_dropped_events(self):
+        text = format_timeline(events(), limit=1)
+        assert "2 more events" in text
+
+    def test_empty_trace(self):
+        text = format_timeline([])
+        assert text.splitlines()[0].startswith("t (ms)")
+
+
+class TestSummarizeTrace:
+    def test_with_events(self):
+        stats = StatsCollector(trace=True)
+        stats.record_event(0.5, "message", "x")
+        stats.record_event(0.7, "message", "y")
+        text = summarize_trace(stats)
+        assert "2 events" in text
+        assert "500.000 ms" in text
+
+    def test_without_events(self):
+        text = summarize_trace(StatsCollector())
+        assert "no events" in text
+
+
+class TestEndToEndTracing:
+    def test_network_trace_records_messages(self, network):
+        from repro.simnet.network import Network
+        from repro.simnet.stats import StatsCollector
+        from repro.simnet.message import MessageKind
+
+        traced = Network(stats=StatsCollector(trace=True))
+        traced.add_site("A")
+        b = traced.add_site("B")
+        b.register_handler(MessageKind.CALL, lambda m: b"")
+        traced.send("A", "B", MessageKind.CALL, b"x", MessageKind.REPLY)
+        text = format_timeline(traced.stats.events)
+        assert "A->B call" in text
+        assert "B->A reply" in text

@@ -1,0 +1,129 @@
+"""Error-path tests for session misuse and pointer lifetime."""
+
+import pytest
+
+from repro.memory.faults import SegmentationError
+from repro.rpc.errors import RpcRemoteError, SessionError
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.smartrpc.errors import SwizzleError
+from repro.workloads.traversal import bind_tree_server, tree_client
+from repro.workloads.trees import TREE_NODE_TYPE_ID, build_complete_tree
+from repro.xdr.types import PointerType, int32
+
+
+class TestPointerLifetime:
+    def test_stale_pointer_argument_after_session_rejected(
+        self, smart_pair
+    ):
+        """A remote pointer from a dead session cannot be re-sent."""
+        interface = InterfaceDef("give", [
+            ProcedureDef(
+                "a_node", [], returns=PointerType(TREE_NODE_TYPE_ID)
+            ),
+            ProcedureDef(
+                "read_node",
+                [Param("node", PointerType(TREE_NODE_TYPE_ID))],
+                returns=int32,
+            ),
+        ])
+
+        def a_node(ctx):
+            return ctx.runtime.malloc(TREE_NODE_TYPE_ID)
+
+        def read_node(ctx, node):
+            return 1
+
+        bind_server(smart_pair.b, interface, {
+            "a_node": a_node, "read_node": read_node,
+        })
+        stub = ClientStub(smart_pair.a, interface, "B")
+        with smart_pair.a.session() as session:
+            stale = stub.a_node(session)
+        with smart_pair.a.session() as fresh:
+            # The cache page holding `stale` was invalidated: the
+            # address resolves to nothing and unswizzling fails.
+            with pytest.raises(SwizzleError):
+                stub.read_node(fresh, stale)
+
+    def test_callee_cannot_use_pointer_after_invalidation(
+        self, smart_pair
+    ):
+        root = build_complete_tree(smart_pair.a, 7)
+        bind_tree_server(smart_pair.b)
+        stub = tree_client(smart_pair.a, "B")
+        captured = {}
+
+        interface = InterfaceDef("capture", [
+            ProcedureDef(
+                "stash",
+                [Param("root", PointerType(TREE_NODE_TYPE_ID))],
+                returns=int32,
+            ),
+        ])
+
+        def stash(ctx, root_pointer):
+            captured["pointer"] = root_pointer
+            captured["runtime"] = ctx.runtime
+            return 0
+
+        bind_server(smart_pair.b, interface, {"stash": stash})
+        capture_stub = ClientStub(smart_pair.a, interface, "B")
+        with smart_pair.a.session() as session:
+            capture_stub.stash(session, root)
+        # B kept the swizzled address beyond the session: the paper
+        # says it has no meaning now, and dereferencing faults.
+        with pytest.raises(SegmentationError):
+            captured["runtime"].mem.load(captured["pointer"], 1)
+
+
+class TestSessionMisuse:
+    def test_extended_malloc_outside_smart_session(self, smart_pair):
+        class FakeSession:
+            from repro.rpc.session import SessionState
+
+            state = SessionState("x", "A")
+
+        with pytest.raises(SessionError):
+            smart_pair.a.extended_malloc(
+                FakeSession(), "B", TREE_NODE_TYPE_ID
+            )
+
+    def test_double_extended_free_rejected_remotely(self, smart_pair):
+        from repro.workloads.linked_list import (
+            LIST_NODE_TYPE_ID,
+            build_list,
+        )
+
+        interface = InterfaceDef("freeing", [
+            ProcedureDef(
+                "double_free",
+                [Param("node", PointerType(LIST_NODE_TYPE_ID))],
+                returns=int32,
+            ),
+        ])
+
+        def double_free(ctx, node):
+            ctx.runtime.extended_free(ctx, node)
+            ctx.runtime.extended_free(ctx, node)  # must raise
+            return 0
+
+        bind_server(smart_pair.b, interface, {"double_free": double_free})
+        head = build_list(smart_pair.a, [1])
+        stub = ClientStub(smart_pair.a, interface, "B")
+        with smart_pair.a.session() as session:
+            with pytest.raises(RpcRemoteError):
+                stub.double_free(session, head)
+
+    def test_reentrant_ground_session_ids_disjoint(self, smart_pair):
+        first = smart_pair.a.session()
+        second = smart_pair.a.session()
+        with first, second:
+            assert first.session_id != second.session_id
+
+    def test_ending_twice_is_harmless(self, smart_pair):
+        session = smart_pair.a.session()
+        with session:
+            pass
+        # __exit__ already ran; a second explicit exit is a no-op
+        session.__exit__(None, None, None)

@@ -1,0 +1,144 @@
+"""Tests for data larger than a page (multi-page cache spans)."""
+
+import pytest
+
+from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.xdr.types import (
+    ArrayType,
+    Field,
+    OpaqueType,
+    PointerType,
+    StructType,
+    int64,
+)
+
+BIG_TYPE_ID = "big_record"
+PAYLOAD = 3 * 4096 + 200  # spans four pages
+
+
+def big_spec() -> StructType:
+    return StructType(BIG_TYPE_ID, [
+        Field("header", int64),
+        Field("body", OpaqueType(PAYLOAD)),
+        Field("next", PointerType(BIG_TYPE_ID)),
+    ])
+
+
+@pytest.fixture
+def served(smart_pair):
+    for runtime in (smart_pair.a, smart_pair.b):
+        runtime.resolver.register(BIG_TYPE_ID, big_spec())
+    interface = InterfaceDef("big", [
+        ProcedureDef(
+            "checksum",
+            [Param("record", PointerType(BIG_TYPE_ID))],
+            returns=int64,
+        ),
+    ])
+
+    def checksum(ctx, record):
+        spec = ctx.runtime.resolver.resolve(BIG_TYPE_ID)
+        total = 0
+        address = record
+        while address != 0:
+            view = ctx.struct_view(address, spec)
+            header = view.get("header")
+            body = view.get("body")
+            assert isinstance(body, bytes)
+            total += header + sum(body[::512])
+            address = view.get("next")
+        return total
+
+    bind_server(smart_pair.b, interface, {"checksum": checksum})
+    return smart_pair, ClientStub(smart_pair.a, interface, "B")
+
+
+def build_chain(runtime, count):
+    spec = runtime.resolver.resolve(BIG_TYPE_ID)
+    layout = spec.layout(runtime.arch)
+    size = spec.sizeof(runtime.arch)
+    head = 0
+    expected = 0
+    for index in reversed(range(count)):
+        address = runtime.heap.malloc(size, BIG_TYPE_ID)
+        runtime.space.write_raw(
+            address + layout.offsets["header"],
+            (index * 1000).to_bytes(8, runtime.arch.byteorder,
+                                    signed=True),
+        )
+        body = bytes((index + i) % 251 for i in range(PAYLOAD))
+        runtime.space.write_raw(address + layout.offsets["body"], body)
+        runtime.codec.write_pointer(
+            address + layout.offsets["next"], head
+        )
+        head = address
+        expected += index * 1000 + sum(body[::512])
+    return head, expected
+
+
+class TestSpanningTransfers:
+    def test_single_big_record(self, served):
+        pair, stub = served
+        head, expected = build_chain(pair.a, 1)
+        with pair.a.session() as session:
+            assert stub.checksum(session, head) == expected
+
+    def test_chain_of_big_records(self, served):
+        pair, stub = served
+        head, expected = build_chain(pair.a, 3)
+        with pair.a.session() as session:
+            assert stub.checksum(session, head) == expected
+
+    def test_one_request_per_record_regardless_of_pages(self, served):
+        pair, stub = served
+        head, expected = build_chain(pair.a, 1)
+        with pair.a.session() as session:
+            stub.checksum(session, head)
+        # One span fill fetches the whole record: one data request,
+        # even though the record covers four pages.
+        assert pair.network.stats.callbacks == 1
+
+    def test_cached_after_first_access(self, served):
+        pair, stub = served
+        head, expected = build_chain(pair.a, 1)
+        with pair.a.session() as session:
+            stub.checksum(session, head)
+            callbacks = pair.network.stats.callbacks
+            stub.checksum(session, head)
+            assert pair.network.stats.callbacks == callbacks
+
+    def test_update_of_spanning_record_writes_back(self, served):
+        pair, stub = served
+        interface = InterfaceDef("bigw", [
+            ProcedureDef(
+                "stamp",
+                [Param("record", PointerType(BIG_TYPE_ID))],
+                returns=int64,
+            ),
+        ])
+
+        def stamp(ctx, record):
+            spec = ctx.runtime.resolver.resolve(BIG_TYPE_ID)
+            view = ctx.struct_view(record, spec)
+            view.set("header", 424242)
+            # touch bytes on a *different* page of the span
+            address = view.field_address("body") + 2 * 4096
+            ctx.mem.store(address, b"MARK")
+            return view.get("header")
+
+        bind_server(pair.b, interface, {"stamp": stamp})
+        stamp_stub = ClientStub(pair.a, interface, "B")
+        head, _ = build_chain(pair.a, 1)
+        with pair.a.session() as session:
+            assert stamp_stub.stamp(session, head) == 424242
+        spec = pair.a.resolver.resolve(BIG_TYPE_ID)
+        layout = spec.layout(pair.a.arch)
+        raw = pair.a.space.read_raw(head + layout.offsets["header"], 8)
+        assert int.from_bytes(
+            raw, pair.a.arch.byteorder, signed=True
+        ) == 424242
+        body = pair.a.space.read_raw(
+            head + layout.offsets["body"] + 2 * 4096, 4
+        )
+        assert body == b"MARK"

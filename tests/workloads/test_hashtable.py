@@ -1,0 +1,76 @@
+"""Tests for the hash-table workload."""
+
+import pytest
+
+from repro.workloads.hashtable import (
+    HASH_OPS,
+    NUM_BUCKETS,
+    bucket_of,
+    build_hash_table,
+    bind_hash_server,
+    hash_client,
+    value_for,
+)
+
+
+@pytest.fixture
+def served(smart_pair):
+    table, lengths = build_hash_table(
+        smart_pair.a, list(range(500))
+    )
+    bind_hash_server(smart_pair.b)
+    smart_pair.a.import_interface(HASH_OPS)
+    return smart_pair, table, lengths, hash_client(smart_pair.a, "B")
+
+
+class TestBuild:
+    def test_every_key_chained_under_its_bucket(self, served):
+        pair, table, lengths, stub = served
+        assert sum(lengths.values()) == 500
+        assert all(0 <= bucket < NUM_BUCKETS for bucket in lengths)
+
+    def test_bucket_of_is_stable(self):
+        assert bucket_of(123) == bucket_of(123)
+        assert 0 <= bucket_of(99999) < NUM_BUCKETS
+
+
+class TestRemoteLookup:
+    def test_hit_returns_value_word(self, served):
+        pair, table, lengths, stub = served
+        with pair.a.session() as session:
+            assert stub.lookup(session, table, 37) == int.from_bytes(
+                value_for(37)[8:], "big"
+            )
+
+    def test_miss_returns_minus_one(self, served):
+        pair, table, lengths, stub = served
+        with pair.a.session() as session:
+            assert stub.lookup(session, table, 10**6) == -1
+
+    def test_lookup_many_sums_hits(self, served):
+        pair, table, lengths, stub = served
+        with pair.a.session() as session:
+            total = stub.lookup_many(session, table, 10, 5)
+        expected = sum(
+            int.from_bytes(value_for(key)[8:], "big")
+            for key in range(10, 15)
+        )
+        assert total == expected
+
+    def test_sparse_access_moves_little_data(self, served):
+        """The paper's pro-lazy observation: a lookup touches one
+        chain, so the proposed method must not ship the table."""
+        pair, table, lengths, stub = served
+        # The eager method moves the whole table (~130 KB encoded for
+        # this workload); sparse access must stay well under that.
+        with pair.a.session() as session:
+            stub.lookup(session, table, 3)
+        assert pair.network.stats.total_bytes < 32000
+
+    def test_repeated_lookup_cached(self, served):
+        pair, table, lengths, stub = served
+        with pair.a.session() as session:
+            stub.lookup(session, table, 3)
+            callbacks = pair.network.stats.callbacks
+            stub.lookup(session, table, 3)
+            assert pair.network.stats.callbacks == callbacks

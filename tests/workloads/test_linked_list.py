@@ -1,0 +1,83 @@
+"""Tests for the linked-list workload."""
+
+import pytest
+
+from repro.workloads.linked_list import (
+    LIST_OPS,
+    bind_list_server,
+    build_list,
+    list_client,
+    read_list,
+)
+
+
+@pytest.fixture
+def served(smart_pair):
+    bind_list_server(smart_pair.b)
+    smart_pair.a.import_interface(LIST_OPS)
+    return smart_pair, list_client(smart_pair.a, "B")
+
+
+class TestBuildAndRead:
+    def test_round_trip(self, smart_pair):
+        head = build_list(smart_pair.a, [5, -3, 0, 7])
+        assert read_list(smart_pair.a, head) == [5, -3, 0, 7]
+
+    def test_empty_list(self, smart_pair):
+        assert build_list(smart_pair.a, []) == 0
+        assert read_list(smart_pair.a, 0) == []
+
+
+class TestRemoteProcedures:
+    def test_total(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [1, 2, 3, 4])
+        with pair.a.session() as session:
+            assert stub.total(session, head) == 10
+
+    def test_total_of_empty(self, served):
+        pair, stub = served
+        with pair.a.session() as session:
+            assert stub.total(session, 0) == 0
+
+    def test_scale_updates_home_values(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [1, 2, 3])
+        with pair.a.session() as session:
+            count = stub.scale(session, head, 10)
+        assert count == 3
+        assert read_list(pair.a, head) == [10, 20, 30]
+
+    def test_scale_with_negatives(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [-2, 5])
+        with pair.a.session() as session:
+            stub.scale(session, head, -3)
+        assert read_list(pair.a, head) == [6, -15]
+
+    def test_append_range(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [9])
+        with pair.a.session() as session:
+            stub.append_range(session, head, 0, 3)
+        assert read_list(pair.a, head) == [9, 0, 1, 2]
+
+    def test_drop_negatives_head_run(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [-5, -6, 1, -7, 2])
+        with pair.a.session() as session:
+            new_head = stub.drop_negatives(session, head)
+        assert read_list(pair.a, new_head) == [1, 2]
+
+    def test_drop_negatives_all_negative(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [-1, -2])
+        with pair.a.session() as session:
+            assert stub.drop_negatives(session, head) == 0
+
+    def test_drop_negatives_none_negative(self, served):
+        pair, stub = served
+        head = build_list(pair.a, [1, 2])
+        with pair.a.session() as session:
+            new_head = stub.drop_negatives(session, head)
+        assert read_list(pair.a, new_head) == [1, 2]

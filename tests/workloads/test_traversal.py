@@ -1,0 +1,107 @@
+"""Tests for the tree traversal procedures."""
+
+import pytest
+
+from repro.workloads.traversal import (
+    bind_tree_server,
+    expected_search_checksum,
+    tree_client,
+    visit_counts,
+)
+from repro.workloads.trees import build_complete_tree
+
+
+@pytest.fixture
+def served(smart_pair):
+    root = build_complete_tree(smart_pair.a, 31)
+    bind_tree_server(smart_pair.b)
+    return smart_pair, root, tree_client(smart_pair.a, "B")
+
+
+class TestSearch:
+    @pytest.mark.parametrize("target", [0, 1, 10, 31])
+    def test_search_checksum_matches_reference(self, served, target):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            assert stub.search(session, root, target) == (
+                expected_search_checksum(target, 31)
+            )
+
+    def test_target_beyond_tree_visits_all(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            assert stub.search(session, root, 1000) == sum(range(31))
+
+
+class TestSearchUpdate:
+    def test_update_returns_pre_update_checksum(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            assert stub.search_update(session, root, 31) == sum(range(31))
+
+    def test_second_pass_sees_updated_values(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            stub.search_update(session, root, 31)
+            assert stub.search(session, root, 31) == sum(range(31)) + 31
+
+
+class TestSearchRepeat:
+    def test_repeat_sums_passes(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            assert stub.search_repeat(session, root, 31, 4) == (
+                4 * sum(range(31))
+            )
+
+    def test_repeats_are_cached(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            stub.search_repeat(session, root, 31, 1)
+            callbacks_first = pair.network.stats.callbacks
+            stub.search_repeat(session, root, 31, 3)
+            assert pair.network.stats.callbacks == callbacks_first
+
+
+class TestPathSearch:
+    def test_deterministic_for_seed(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            first = stub.path_search(session, root, 5, 42)
+        with pair.a.session() as session:
+            second = stub.path_search(session, root, 5, 42)
+        assert first == second
+
+    def test_different_seeds_usually_differ(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            first = stub.path_search(session, root, 5, 1)
+            second = stub.path_search(session, root, 5, 2)
+        assert first != second
+
+    def test_path_always_includes_root(self, served):
+        pair, root, stub = served
+        with pair.a.session() as session:
+            # one path: checksum >= root index (0) and visits depth+1
+            # nodes; with a 31-node tree every path has 5 nodes.
+            checksum = stub.path_search(session, root, 1, 7)
+        assert checksum > 0
+
+
+class TestVisitCounts:
+    def test_ratio_to_target(self):
+        assert visit_counts(0.0, 100)["target_nodes"] == 0
+        assert visit_counts(0.5, 100)["target_nodes"] == 50
+        assert visit_counts(1.0, 100)["target_nodes"] == 100
+
+    def test_clamped(self):
+        assert visit_counts(2.0, 100)["target_nodes"] == 100
+        assert visit_counts(-1.0, 100)["target_nodes"] == 0
+
+
+class TestReferenceChecksum:
+    def test_matches_manual_small_case(self):
+        # DFS left-first on a 3-node heap tree: 0, 1, 2
+        assert expected_search_checksum(3, 3) == 3
+        # first two visits: 0 then 1
+        assert expected_search_checksum(2, 3) == 1

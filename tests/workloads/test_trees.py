@@ -1,0 +1,90 @@
+"""Tests for the complete-binary-tree workload builder."""
+
+import pytest
+
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    complete_tree_depth,
+    local_tree_checksum,
+    tree_node_spec,
+)
+from repro.xdr.arch import SPARC32, X86_64
+
+
+class TestNodeSpec:
+    def test_sixteen_bytes_on_sparc(self):
+        """Paper: 'each node has 16 bytes (two 4-byte pointers and
+        8-byte data)'."""
+        assert tree_node_spec().sizeof(SPARC32) == 16
+
+    def test_twenty_four_bytes_on_x86_64(self):
+        assert tree_node_spec().sizeof(X86_64) == 24
+
+
+class TestDepth:
+    @pytest.mark.parametrize("nodes,depth", [
+        (1, 0), (3, 1), (7, 2), (16383, 13), (32767, 14), (65535, 15),
+    ])
+    def test_valid_counts(self, nodes, depth):
+        assert complete_tree_depth(nodes) == depth
+
+    @pytest.mark.parametrize("nodes", [0, 2, 4, 100, -1])
+    def test_invalid_counts_rejected(self, nodes):
+        with pytest.raises(ValueError):
+            complete_tree_depth(nodes)
+
+
+class TestBuild:
+    def test_structure_heap_ordered(self, smart_pair):
+        runtime = smart_pair.a
+        root = build_complete_tree(runtime, 7)
+        spec = runtime.resolver.resolve(TREE_NODE_TYPE_ID)
+        layout = spec.layout(runtime.arch)
+
+        def read_node(address):
+            left = runtime.codec.read_pointer(
+                address + layout.offsets["left"]
+            )
+            right = runtime.codec.read_pointer(
+                address + layout.offsets["right"]
+            )
+            data = runtime.space.read_raw(
+                address + layout.offsets["data"], 8
+            )
+            return left, right, int.from_bytes(data, "big")
+
+        left, right, index = read_node(root)
+        assert index == 0 and left != 0 and right != 0
+        _, _, left_index = read_node(left)
+        _, _, right_index = read_node(right)
+        assert (left_index, right_index) == (1, 2)
+
+    def test_leaves_have_null_children(self, smart_pair):
+        runtime = smart_pair.a
+        root = build_complete_tree(runtime, 3)
+        spec = runtime.resolver.resolve(TREE_NODE_TYPE_ID)
+        layout = spec.layout(runtime.arch)
+        left = runtime.codec.read_pointer(root + layout.offsets["left"])
+        leaf_left = runtime.codec.read_pointer(
+            left + layout.offsets["left"]
+        )
+        assert leaf_left == 0
+
+    def test_checksum_is_sum_of_indices(self, smart_pair):
+        runtime = smart_pair.a
+        root = build_complete_tree(runtime, 15)
+        assert local_tree_checksum(runtime, root) == sum(range(15))
+
+    def test_all_nodes_typed_in_heap(self, smart_pair):
+        runtime = smart_pair.a
+        root = build_complete_tree(runtime, 7)
+        assert (
+            runtime.heap.allocation_at(root).type_id == TREE_NODE_TYPE_ID
+        )
+        assert len(runtime.heap.live_allocations) == 7
+
+    def test_build_on_64_bit_architecture(self, smart_pair):
+        runtime = smart_pair.b  # x86-64
+        root = build_complete_tree(runtime, 7)
+        assert local_tree_checksum(runtime, root) == sum(range(7))

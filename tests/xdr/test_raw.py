@@ -1,0 +1,181 @@
+"""Tests for raw-memory <-> canonical conversion."""
+
+import pytest
+
+from repro.memory.address_space import AddressSpace
+from repro.xdr.arch import SPARC32, X86_64
+from repro.xdr.errors import XdrError
+from repro.xdr.raw import RawCodec
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.types import (
+    ArrayType,
+    Field,
+    OpaqueType,
+    PointerType,
+    StructType,
+    float64,
+    int16,
+    int32,
+    int64,
+    uint8,
+)
+
+RECORD = StructType("record", [
+    Field("flag", uint8),
+    Field("count", int32),
+    Field("total", int64),
+    Field("ratio", float64),
+    Field("tag", OpaqueType(6)),
+    Field("values", ArrayType(int16, 3)),
+])
+
+
+def refuse_out(pointer, type_id):
+    raise AssertionError("no pointers expected")
+
+
+def refuse_in(type_id):
+    raise AssertionError("no pointers expected")
+
+
+def write_record(codec, address, arch):
+    layout = RECORD.layout(arch)
+    space = codec.space
+    space.write_raw(address + layout.offsets["flag"],
+                    uint8.pack_raw(7, arch))
+    space.write_raw(address + layout.offsets["count"],
+                    int32.pack_raw(-100, arch))
+    space.write_raw(address + layout.offsets["total"],
+                    int64.pack_raw(2**40, arch))
+    space.write_raw(address + layout.offsets["ratio"],
+                    float64.pack_raw(0.5, arch))
+    space.write_raw(address + layout.offsets["tag"], b"abcdef")
+    stride = RECORD.field("values").spec.stride(arch)
+    for index, value in enumerate((1, -2, 3)):
+        space.write_raw(
+            address + layout.offsets["values"] + index * stride,
+            int16.pack_raw(value, arch),
+        )
+
+
+def read_record(codec, address, arch):
+    layout = RECORD.layout(arch)
+    space = codec.space
+    out = {
+        "flag": uint8.unpack_raw(
+            space.read_raw(address + layout.offsets["flag"], 1), arch
+        ),
+        "count": int32.unpack_raw(
+            space.read_raw(address + layout.offsets["count"], 4), arch
+        ),
+        "total": int64.unpack_raw(
+            space.read_raw(address + layout.offsets["total"], 8), arch
+        ),
+        "ratio": float64.unpack_raw(
+            space.read_raw(address + layout.offsets["ratio"], 8), arch
+        ),
+        "tag": space.read_raw(address + layout.offsets["tag"], 6),
+    }
+    stride = RECORD.field("values").spec.stride(arch)
+    out["values"] = [
+        int16.unpack_raw(
+            space.read_raw(
+                address + layout.offsets["values"] + index * stride, 2
+            ),
+            arch,
+        )
+        for index in range(3)
+    ]
+    return out
+
+
+class TestCrossArchitectureConversion:
+    @pytest.mark.parametrize("src_arch,dst_arch", [
+        (SPARC32, X86_64),
+        (X86_64, SPARC32),
+        (SPARC32, SPARC32),
+    ])
+    def test_record_survives_conversion(self, src_arch, dst_arch):
+        src_space = AddressSpace("src")
+        dst_space = AddressSpace("dst")
+        src = RawCodec(src_space, src_arch)
+        dst = RawCodec(dst_space, dst_arch)
+        src_address = src_space.map_region(1)
+        dst_address = dst_space.map_region(1)
+        write_record(src, src_address, src_arch)
+
+        encoder = XdrEncoder()
+        src.encode(src_address, RECORD, encoder, refuse_out)
+        decoder = XdrDecoder(encoder.getvalue())
+        dst.decode(decoder, dst_address, RECORD, refuse_in)
+        decoder.expect_done()
+
+        assert read_record(dst, dst_address, dst_arch) == {
+            "flag": 7,
+            "count": -100,
+            "total": 2**40,
+            "ratio": 0.5,
+            "tag": b"abcdef",
+            "values": [1, -2, 3],
+        }
+
+    def test_canonical_form_is_architecture_independent(self):
+        encodings = []
+        for arch in (SPARC32, X86_64):
+            space = AddressSpace("s")
+            codec = RawCodec(space, arch)
+            address = space.map_region(1)
+            write_record(codec, address, arch)
+            encoder = XdrEncoder()
+            codec.encode(address, RECORD, encoder, refuse_out)
+            encodings.append(encoder.getvalue())
+        assert encodings[0] == encodings[1]
+
+
+class TestPointerHooks:
+    SPEC = StructType("cell", [
+        Field("next", PointerType("cell")),
+        Field("value", int32),
+    ])
+
+    def test_encode_calls_pointer_out_with_value(self):
+        space = AddressSpace("s")
+        codec = RawCodec(space, SPARC32)
+        address = space.map_region(1)
+        codec.write_pointer(address, 0x1234)
+        seen = []
+
+        def out(pointer, type_id):
+            seen.append((pointer, type_id))
+
+        codec.encode(address, self.SPEC, XdrEncoder(), out)
+        assert seen == [(0x1234, "cell")]
+
+    def test_decode_stores_pointer_in_result(self):
+        space = AddressSpace("s")
+        codec = RawCodec(space, X86_64)
+        address = space.map_region(1)
+        encoder = XdrEncoder()
+        encoder.pack_int32(9)  # the value field; pointer comes via hook
+
+        def into(type_id):
+            assert type_id == "cell"
+            return 0xBEEF
+
+        codec.decode(XdrDecoder(encoder.getvalue()), address, self.SPEC,
+                     into)
+        assert codec.read_pointer(address) == 0xBEEF
+
+    def test_write_pointer_range_checked(self):
+        space = AddressSpace("s")
+        codec = RawCodec(space, SPARC32)
+        address = space.map_region(1)
+        with pytest.raises(XdrError):
+            codec.write_pointer(address, 2**32)  # too wide for 4 bytes
+
+    def test_pointer_word_endianness(self):
+        space = AddressSpace("s")
+        big = RawCodec(space, SPARC32)
+        address = space.map_region(1)
+        big.write_pointer(address, 0x01020304)
+        assert space.read_raw(address, 4) == b"\x01\x02\x03\x04"

@@ -1,0 +1,160 @@
+"""Tests for the XDR canonical stream."""
+
+import pytest
+
+from repro.xdr.errors import XdrError
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+
+
+def round_trip(pack, unpack, value):
+    encoder = XdrEncoder()
+    pack(encoder, value)
+    decoder = XdrDecoder(encoder.getvalue())
+    result = unpack(decoder)
+    decoder.expect_done()
+    return result
+
+
+class TestIntegers:
+    @pytest.mark.parametrize("value", [0, 1, 2**32 - 1, 12345])
+    def test_uint32_round_trip(self, value):
+        assert round_trip(
+            XdrEncoder.pack_uint32, XdrDecoder.unpack_uint32, value
+        ) == value
+
+    @pytest.mark.parametrize("value", [-(2**31), -1, 0, 2**31 - 1])
+    def test_int32_round_trip(self, value):
+        assert round_trip(
+            XdrEncoder.pack_int32, XdrDecoder.unpack_int32, value
+        ) == value
+
+    @pytest.mark.parametrize("value", [0, 2**64 - 1])
+    def test_uint64_round_trip(self, value):
+        assert round_trip(
+            XdrEncoder.pack_uint64, XdrDecoder.unpack_uint64, value
+        ) == value
+
+    @pytest.mark.parametrize("value", [-(2**63), 2**63 - 1])
+    def test_int64_round_trip(self, value):
+        assert round_trip(
+            XdrEncoder.pack_int64, XdrDecoder.unpack_int64, value
+        ) == value
+
+    def test_uint32_out_of_range(self):
+        encoder = XdrEncoder()
+        with pytest.raises(XdrError):
+            encoder.pack_uint32(2**32)
+        with pytest.raises(XdrError):
+            encoder.pack_uint32(-1)
+
+    def test_int32_out_of_range(self):
+        encoder = XdrEncoder()
+        with pytest.raises(XdrError):
+            encoder.pack_int32(2**31)
+
+    def test_big_endian_on_wire(self):
+        encoder = XdrEncoder()
+        encoder.pack_uint32(1)
+        assert encoder.getvalue() == b"\x00\x00\x00\x01"
+
+
+class TestBool:
+    def test_round_trip(self):
+        for value in (True, False):
+            assert round_trip(
+                XdrEncoder.pack_bool, XdrDecoder.unpack_bool, value
+            ) is value
+
+    def test_bad_encoding_rejected(self):
+        encoder = XdrEncoder()
+        encoder.pack_uint32(7)
+        with pytest.raises(XdrError):
+            XdrDecoder(encoder.getvalue()).unpack_bool()
+
+
+class TestFloats:
+    def test_double_round_trip_exact(self):
+        assert round_trip(
+            XdrEncoder.pack_double, XdrDecoder.unpack_double, 3.14159
+        ) == 3.14159
+
+    def test_float_round_trip_approximate(self):
+        out = round_trip(
+            XdrEncoder.pack_float, XdrDecoder.unpack_float, 1.5
+        )
+        assert out == 1.5  # exactly representable
+
+
+class TestOpaqueAndStrings:
+    @pytest.mark.parametrize("data", [b"", b"a", b"abc", b"abcd", b"abcde"])
+    def test_opaque_round_trip(self, data):
+        assert round_trip(
+            XdrEncoder.pack_opaque, XdrDecoder.unpack_opaque, data
+        ) == data
+
+    def test_opaque_padded_to_four(self):
+        encoder = XdrEncoder()
+        encoder.pack_opaque(b"ab")
+        # 4 length + 2 data + 2 pad
+        assert len(encoder.getvalue()) == 8
+
+    def test_fixed_opaque_round_trip(self):
+        encoder = XdrEncoder()
+        encoder.pack_fixed_opaque(b"xyz")
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.unpack_fixed_opaque(3) == b"xyz"
+        decoder.expect_done()
+
+    def test_string_round_trip_utf8(self):
+        assert round_trip(
+            XdrEncoder.pack_string, XdrDecoder.unpack_string, "héllo✓"
+        ) == "héllo✓"
+
+    def test_nonzero_padding_rejected(self):
+        data = b"\x00\x00\x00\x02ab\x00\x01"  # bad pad byte
+        with pytest.raises(XdrError):
+            XdrDecoder(data).unpack_opaque()
+
+
+class TestFraming:
+    def test_underflow_raises(self):
+        with pytest.raises(XdrError):
+            XdrDecoder(b"\x00\x00").unpack_uint32()
+
+    def test_expect_done_on_trailing_bytes(self):
+        encoder = XdrEncoder()
+        encoder.pack_uint32(1)
+        encoder.pack_uint32(2)
+        decoder = XdrDecoder(encoder.getvalue())
+        decoder.unpack_uint32()
+        with pytest.raises(XdrError):
+            decoder.expect_done()
+
+    def test_remaining_and_done(self):
+        encoder = XdrEncoder()
+        encoder.pack_uint32(1)
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.remaining == 4 and not decoder.done()
+        decoder.unpack_uint32()
+        assert decoder.remaining == 0 and decoder.done()
+
+    def test_encoder_size_tracks_bytes(self):
+        encoder = XdrEncoder()
+        encoder.pack_uint64(1)
+        encoder.pack_opaque(b"abc")
+        assert encoder.size == len(encoder.getvalue()) == 8 + 4 + 4
+
+    def test_mixed_sequence_round_trip(self):
+        encoder = XdrEncoder()
+        encoder.pack_string("id")
+        encoder.pack_int32(-5)
+        encoder.pack_bool(True)
+        encoder.pack_double(2.5)
+        encoder.pack_opaque(b"!!")
+        decoder = XdrDecoder(encoder.getvalue())
+        assert decoder.unpack_string() == "id"
+        assert decoder.unpack_int32() == -5
+        assert decoder.unpack_bool() is True
+        assert decoder.unpack_double() == 2.5
+        assert decoder.unpack_opaque() == b"!!"
+        decoder.expect_done()

@@ -1,0 +1,122 @@
+"""Tests for typed struct views (program-plane access)."""
+
+import pytest
+
+from repro.memory.accessor import Mem
+from repro.memory.address_space import AddressSpace
+from repro.xdr.arch import SPARC32, X86_64
+from repro.xdr.errors import XdrError
+from repro.xdr.types import (
+    ArrayType,
+    Field,
+    OpaqueType,
+    PointerType,
+    StructType,
+    float64,
+    int32,
+)
+from repro.xdr.view import StructView
+
+SPEC = StructType("thing", [
+    Field("count", int32),
+    Field("ratio", float64),
+    Field("label", OpaqueType(4)),
+    Field("next", PointerType("thing")),
+    Field("slots", ArrayType(int32, 3)),
+])
+
+
+@pytest.fixture(params=[SPARC32, X86_64], ids=["sparc32", "x86_64"])
+def view(request):
+    space = AddressSpace("T")
+    mem = Mem(space)
+    address = space.map_region(1)
+    return StructView(mem, address, SPEC, request.param)
+
+
+class TestFieldAccess:
+    def test_scalar_round_trip(self, view):
+        view.set("count", -7)
+        assert view.get("count") == -7
+
+    def test_float_round_trip(self, view):
+        view.set("ratio", 0.125)
+        assert view.get("ratio") == 0.125
+
+    def test_opaque_round_trip(self, view):
+        view.set("label", b"abcd")
+        assert view.get("label") == b"abcd"
+
+    def test_pointer_round_trip(self, view):
+        view.set("next", 0xCAFE)
+        assert view.get("next") == 0xCAFE
+
+    def test_null_pointer(self, view):
+        view.set("next", 0)
+        assert view.get("next") == 0
+
+    def test_unknown_field_raises(self, view):
+        with pytest.raises(XdrError):
+            view.get("missing")
+
+    def test_field_address_respects_layout(self, view):
+        layout = SPEC.layout(view.arch)
+        assert (
+            view.field_address("ratio")
+            == view.address + layout.offsets["ratio"]
+        )
+
+
+class TestTypeChecks:
+    def test_scalar_given_bytes_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.set("count", b"xx")
+
+    def test_pointer_given_nonint_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.set("next", "addr")
+
+    def test_opaque_wrong_length_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.set("label", b"toolong!")
+
+    def test_aggregate_get_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.get("slots")
+
+
+class TestArrayElements:
+    def test_element_access(self, view):
+        layout = SPEC.layout(view.arch)
+        stride = SPEC.field("slots").spec.stride(view.arch)
+        for index, value in enumerate((10, 20, 30)):
+            view.mem.store(
+                view.address + layout.offsets["slots"] + index * stride,
+                int32.pack_raw(value, view.arch),
+            )
+        assert [view.element("slots", i) for i in range(3)] == [10, 20, 30]
+
+    def test_element_bounds_checked(self, view):
+        with pytest.raises(XdrError):
+            view.element("slots", 3)
+        with pytest.raises(XdrError):
+            view.element("slots", -1)
+
+    def test_element_of_non_array_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.element("count", 0)
+
+
+class TestPointerChasing:
+    def test_view_follows_pointer(self, view):
+        other_address = view.mem.space.map_region(1)
+        view.set("next", other_address)
+        other = view.view("next", SPEC)
+        other.set("count", 42)
+        assert other.address == other_address
+        assert other.get("count") == 42
+
+    def test_view_of_null_rejected(self, view):
+        view.set("next", 0)
+        with pytest.raises(XdrError):
+            view.view("next", SPEC)

@@ -1,0 +1,431 @@
+"""IDL / type-graph analysis rules (``SRPC0xx``).
+
+These rules run over parsed interface definitions — an
+:class:`~repro.rpc.idl.IdlDocument`, optionally joined with a
+:class:`~repro.xdr.registry.TypeRegistry` of externally known types —
+and statically verify the invariants the smart-RPC runtime otherwise
+discovers only when a transfer fails:
+
+* every pointer target must resolve to a registered struct
+  (``SRPC004``); the runtime would raise on the first swizzle;
+* by-value embedding must be acyclic (``SRPC002``); layout would
+  recurse forever;
+* declared structs should be reachable from some interface signature
+  (``SRPC003``); unreachable ones are dead weight in the registry;
+* the configured closure budget should admit at least the root datum
+  of every pointer parameter (``SRPC005``); otherwise every eager
+  shipment truncates to exactly the faulted datum;
+* struct layout should not waste excessive padding on any architecture
+  profile (``SRPC006``);
+* a type should not be both a pointer target and embedded by value
+  (``SRPC007``); a pointer into an embedded instance is an interior
+  pointer, which is not a heap root and can never be served.
+
+Parse failures are reported as ``SRPC001`` with the parser's
+line/column carried into the diagnostic location.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    DiagnosticCollector,
+    SourceLocation,
+)
+from repro.analysis.typegraph import TypeGraph, _collect_edges
+from repro.rpc.idl import IdlDocument, IdlError, parse_idl
+from repro.xdr.arch import ALPHA64, SPARC32, X86_64, Architecture
+from repro.xdr.errors import XdrError
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.types import StructType
+
+PROFILES: Tuple[Architecture, ...] = (SPARC32, X86_64, ALPHA64)
+"""Architecture profiles every layout rule checks against."""
+
+DEFAULT_CLOSURE_SIZE = 8192
+"""The paper's closure-size default (mirrors the smart runtime's)."""
+
+# Padding beyond a quarter of the struct is flagged by SRPC006.
+_PADDING_RATIO = 4
+
+_POSITION = re.compile(r"line (\d+), column (\d+)")
+
+_SUPPRESS_DIRECTIVE = re.compile(
+    r"//\s*smartlint:\s*disable=([A-Z0-9, ]+)"
+)
+
+
+def file_suppressions(text: str) -> List[str]:
+    """Rule codes disabled by ``// smartlint: disable=...`` directives."""
+    codes: List[str] = []
+    for match in _SUPPRESS_DIRECTIVE.finditer(text):
+        codes.extend(
+            code.strip()
+            for code in match.group(1).split(",")
+            if code.strip()
+        )
+    return codes
+
+
+def analyze_source(
+    text: str,
+    filename: Optional[str] = None,
+    collector: Optional[DiagnosticCollector] = None,
+    registry: Optional[TypeRegistry] = None,
+    closure_size: int = DEFAULT_CLOSURE_SIZE,
+    profiles: Sequence[Architecture] = PROFILES,
+) -> DiagnosticCollector:
+    """Lint one IDL source text; parse errors become ``SRPC001``."""
+    if collector is None:
+        collector = DiagnosticCollector()
+    collector.suppress |= set(file_suppressions(text))
+    try:
+        document = parse_idl(text, filename=filename)
+    except IdlError as exc:
+        collector.emit(
+            "SRPC001",
+            str(exc),
+            location=_error_location(str(exc), filename),
+        )
+        return collector
+    return analyze_document(
+        document,
+        collector=collector,
+        registry=registry,
+        closure_size=closure_size,
+        profiles=profiles,
+    )
+
+
+def analyze_document(
+    document: IdlDocument,
+    collector: Optional[DiagnosticCollector] = None,
+    registry: Optional[TypeRegistry] = None,
+    closure_size: int = DEFAULT_CLOSURE_SIZE,
+    profiles: Sequence[Architecture] = PROFILES,
+) -> DiagnosticCollector:
+    """Run every ``SRPC0xx`` rule over one parsed document."""
+    if collector is None:
+        collector = DiagnosticCollector()
+    graph = _build_graph(document, registry)
+    _check_pointer_targets(document, graph, collector)
+    _check_embedding_cycles(document, graph, collector)
+    _check_reachability(document, graph, collector)
+    _check_closure_budget(
+        document, graph, collector, closure_size, profiles
+    )
+    _check_padding(document, collector, profiles)
+    _check_interior_pointers(document, graph, collector)
+    return collector
+
+
+def analyze_files(
+    paths: Iterable,
+    collector: Optional[DiagnosticCollector] = None,
+    closure_size: int = DEFAULT_CLOSURE_SIZE,
+    profiles: Sequence[Architecture] = PROFILES,
+) -> DiagnosticCollector:
+    """Lint several ``.x`` files against one shared registry.
+
+    Cross-file conflicts — the same type id bound to different
+    definitions in two files — are reported as ``SRPC008``, mirroring
+    the name server's refusal to rebind an id.
+    """
+    if collector is None:
+        collector = DiagnosticCollector()
+    registry = TypeRegistry()
+    first_seen: Dict[str, str] = {}
+    for path in paths:
+        path = str(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            collector.emit(
+                "SRPC001",
+                f"cannot read interface file: {exc}",
+                location=SourceLocation(file=path),
+            )
+            continue
+        analyze_source(
+            text,
+            filename=path,
+            collector=collector,
+            registry=registry,
+            closure_size=closure_size,
+            profiles=profiles,
+        )
+        # Feed this file's types into the shared registry.
+        try:
+            document = parse_idl(text, filename=path)
+        except IdlError:
+            continue  # already reported as SRPC001
+        for name, spec in {
+            **document.structs, **document.enums
+        }.items():
+            try:
+                registry.register(name, spec)
+                first_seen.setdefault(name, path)
+            except XdrError:
+                collector.emit(
+                    "SRPC008",
+                    f"type {name!r} is already bound to a different "
+                    f"definition by {first_seen.get(name, '?')}",
+                    location=_location(document, "struct", name)
+                    or _location(document, "enum", name)
+                    or SourceLocation(file=path),
+                )
+    return collector
+
+
+# -- individual rules ---------------------------------------------------------
+
+
+def _build_graph(
+    document: IdlDocument, registry: Optional[TypeRegistry]
+) -> TypeGraph:
+    graph = TypeGraph.from_structs(document.structs)
+    if registry is not None:
+        for type_id in registry.type_ids:
+            spec = registry.resolve(type_id)
+            if isinstance(spec, StructType) and not graph.knows(type_id):
+                graph.add_struct(type_id, spec)
+    return graph
+
+
+def _check_pointer_targets(
+    document: IdlDocument,
+    graph: TypeGraph,
+    collector: DiagnosticCollector,
+) -> None:
+    """SRPC004: every pointer target resolves to a known struct."""
+    for struct_name in sorted(document.structs):
+        for target in sorted(graph.pointer_targets(struct_name)):
+            if graph.knows(target):
+                continue
+            reason = (
+                "a non-struct type"
+                if target in document.enums
+                else "no registered type"
+            )
+            collector.emit(
+                "SRPC004",
+                f"struct {struct_name!r} has a pointer to {target!r}, "
+                f"which names {reason}: the runtime cannot swizzle it",
+                location=_location(document, "struct", struct_name),
+                hint="pointer targets must be registered struct types",
+            )
+    for iface_name, interface in sorted(document.interfaces.items()):
+        for procedure in interface.procedures:
+            for target in graph.procedure_roots(procedure):
+                if graph.knows(target):
+                    continue
+                reason = (
+                    "a non-struct type"
+                    if target in document.enums
+                    else "no registered type"
+                )
+                collector.emit(
+                    "SRPC004",
+                    f"procedure {iface_name}.{procedure.name} passes "
+                    f"a pointer to {target!r}, which names {reason}: "
+                    "the signature cannot be swizzled",
+                    location=_location(
+                        document, "proc", iface_name, procedure.name
+                    ),
+                )
+
+
+def _check_embedding_cycles(
+    document: IdlDocument,
+    graph: TypeGraph,
+    collector: DiagnosticCollector,
+) -> None:
+    """SRPC002: by-value embedding must be acyclic."""
+    cycle = graph.embedding_cycle()
+    if cycle is None:
+        return
+    chain = " embeds ".join(repr(name) for name in cycle)
+    collector.emit(
+        "SRPC002",
+        f"by-value embedding cycle: {chain}; the type has infinite "
+        "size and can never be laid out",
+        location=_location(document, "struct", cycle[0]),
+        hint="break the cycle with a pointer field",
+    )
+
+
+def _check_reachability(
+    document: IdlDocument,
+    graph: TypeGraph,
+    collector: DiagnosticCollector,
+) -> None:
+    """SRPC003: every declared struct serves some interface."""
+    if not document.interfaces:
+        return  # a pure type library: nothing to be reachable from
+    roots = set()
+    for interface in document.interfaces.values():
+        for procedure in interface.procedures:
+            specs = [param.spec for param in procedure.params]
+            if procedure.returns is not None:
+                specs.append(procedure.returns)
+            for spec in specs:
+                pointers: set = set()
+                embeds: set = set()
+                _collect_edges(spec, pointers, embeds)
+                roots |= pointers | embeds
+    reachable = graph.reachable_from(roots)
+    for name in sorted(document.structs):
+        if name not in reachable:
+            collector.emit(
+                "SRPC003",
+                f"struct {name!r} is not reachable from any interface "
+                "procedure: it will never cross an address space",
+                location=_location(document, "struct", name),
+                hint="remove the declaration or reference it from a "
+                "signature",
+            )
+
+
+def _check_closure_budget(
+    document: IdlDocument,
+    graph: TypeGraph,
+    collector: DiagnosticCollector,
+    closure_size: int,
+    profiles: Sequence[Architecture],
+) -> None:
+    """SRPC005: the closure budget admits at least each root datum."""
+    for iface_name, interface in sorted(document.interfaces.items()):
+        for procedure in interface.procedures:
+            for target in graph.procedure_roots(procedure):
+                sizes = {
+                    arch.name: graph.safe_sizeof(target, arch)
+                    for arch in profiles
+                }
+                known = [s for s in sizes.values() if s is not None]
+                if not known:
+                    continue  # unresolved target: SRPC004 covers it
+                worst = max(known)
+                if worst < closure_size:
+                    continue
+                rendered = ", ".join(
+                    f"{name}={size}"
+                    for name, size in sorted(sizes.items())
+                    if size is not None
+                )
+                collector.emit(
+                    "SRPC005",
+                    f"procedure {iface_name}.{procedure.name}: one "
+                    f"{target!r} datum ({rendered} bytes) meets or "
+                    f"exceeds the closure budget ({closure_size}); "
+                    "eager shipping will always truncate to the "
+                    "faulted datum alone",
+                    location=_location(
+                        document, "proc", iface_name, procedure.name
+                    ),
+                    hint="raise the closure size or shrink the struct",
+                )
+
+
+def _check_padding(
+    document: IdlDocument,
+    collector: DiagnosticCollector,
+    profiles: Sequence[Architecture],
+) -> None:
+    """SRPC006: flag structs dominated by alignment padding."""
+    graph = TypeGraph.from_structs(document.structs)
+    for name in sorted(document.structs):
+        spec = document.structs[name]
+        worst: Optional[Tuple[int, int, str]] = None
+        sizes = {}
+        for arch in profiles:
+            size = graph.safe_sizeof(name, arch)
+            if size is None:
+                # Embedding cycle: SRPC002 already reported it.
+                worst = None
+                break
+            sizes[arch.name] = size
+            content = sum(
+                field.spec.sizeof(arch) for field in spec.fields
+            )
+            waste = size - content
+            if worst is None or waste > worst[0]:
+                worst = (waste, size, arch.name)
+        if worst is None:
+            continue
+        waste, size, arch_name = worst
+        if waste * _PADDING_RATIO <= size:
+            continue
+        rendered = ", ".join(
+            f"{profile}={value}" for profile, value in sorted(sizes.items())
+        )
+        collector.emit(
+            "SRPC006",
+            f"struct {name!r} wastes {waste} of {size} bytes to "
+            f"alignment padding on {arch_name} (sizes: {rendered}); "
+            "every cached copy and every transfer pays for it",
+            location=_location(document, "struct", name),
+            hint="order fields widest-first to pack the layout",
+        )
+
+
+def _check_interior_pointers(
+    document: IdlDocument,
+    graph: TypeGraph,
+    collector: DiagnosticCollector,
+) -> None:
+    """SRPC007: pointer targets should not also be embedded by value."""
+    embedded_in: Dict[str, str] = {}
+    for owner, embeds in sorted(graph.embed_edges.items()):
+        for name in sorted(embeds):
+            embedded_in.setdefault(name, owner)
+    pointer_targets = set()
+    for targets in graph.pointer_edges.values():
+        pointer_targets |= targets
+    for interface in document.interfaces.values():
+        for procedure in interface.procedures:
+            pointer_targets |= set(graph.procedure_roots(procedure))
+    for name in sorted(pointer_targets & set(embedded_in)):
+        if name not in document.structs:
+            continue
+        collector.emit(
+            "SRPC007",
+            f"struct {name!r} is embedded by value in "
+            f"{embedded_in[name]!r} and also targeted by pointers; a "
+            "pointer into an embedded instance is an interior pointer "
+            "and can never be swizzled",
+            location=_location(document, "struct", name),
+            hint="embed by pointer, or never point at the embedded "
+            "type",
+        )
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _location(
+    document: IdlDocument, *key: str
+) -> Optional[SourceLocation]:
+    pos = document.position_of(*key)
+    if pos is None:
+        if document.filename is not None:
+            return SourceLocation(file=document.filename)
+        return None
+    return SourceLocation(
+        file=document.filename, line=pos.line, col=pos.col
+    )
+
+
+def _error_location(
+    message: str, filename: Optional[str]
+) -> SourceLocation:
+    match = _POSITION.search(message)
+    if match:
+        return SourceLocation(
+            file=filename,
+            line=int(match.group(1)),
+            col=int(match.group(2)),
+        )
+    return SourceLocation(file=filename)

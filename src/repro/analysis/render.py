@@ -1,0 +1,66 @@
+"""Render collected diagnostics as text or JSON.
+
+The text form is the familiar compiler style::
+
+    examples/interfaces/inventory.x:7:5: warning SRPC006: ...
+
+The JSON form is stable (sorted diagnostics, fixed key order) so it
+can be golden-tested and consumed by tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """Multi-line compiler-style report plus a summary line."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    lines = [diagnostic.render() for diagnostic in ordered]
+    totals = _totals(ordered)
+    lines.append(
+        f"{totals[Severity.ERROR]} error(s), "
+        f"{totals[Severity.WARNING]} warning(s), "
+        f"{totals[Severity.INFO]} note(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Stable JSON document: ``{"diagnostics": [...], "summary": {...}}``."""
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    body = {
+        "diagnostics": [_diagnostic_json(d) for d in ordered],
+        "summary": {
+            severity.value: count
+            for severity, count in _totals(ordered).items()
+        },
+    }
+    return json.dumps(body, indent=2, sort_keys=False)
+
+
+def _diagnostic_json(diagnostic: Diagnostic) -> dict:
+    location = diagnostic.location
+    entry = {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity.value,
+        "message": diagnostic.message,
+        "file": location.file if location is not None else None,
+        "line": location.line if location is not None else None,
+        "col": location.col if location is not None else None,
+    }
+    if diagnostic.hint:
+        entry["hint"] = diagnostic.hint
+    if diagnostic.data:
+        entry["data"] = dict(diagnostic.data)
+    return entry
+
+
+def _totals(diagnostics: List[Diagnostic]) -> dict:
+    totals = {severity: 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        totals[diagnostic.severity] += 1
+    return totals

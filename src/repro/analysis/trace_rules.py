@@ -1,0 +1,215 @@
+"""Trace conformance checker (rules SRPC100-SRPC105).
+
+Replays a recorded simulation trace — a JSON-lines log written by
+:func:`repro.simnet.tracefmt.save_trace` — and verifies the coherency
+protocol's observable obligations (paper §3.4) offline:
+
+* every cross-space activity transfer carries the modified data set
+  piggyback (SRPC101);
+* a session that ends holding dirty remote data writes it back to each
+  home space (SRPC102);
+* the end-of-session invalidation multicast covers every participant
+  (SRPC103);
+* no write lands on a cached page without a preceding write protection
+  fault — the fault is what marks the page dirty, so a missing fault
+  means silently lost modifications (SRPC104);
+* every session that transferred activity also records its end
+  (SRPC105, warning — the trace may simply be truncated).
+
+Diagnostics point at ``tracefile:line`` where the line number is the
+offending record's position in the log.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import (
+    DiagnosticCollector,
+    SourceLocation,
+)
+from repro.simnet.stats import TraceEvent
+from repro.simnet.tracefmt import TraceFormatError, load_trace
+
+#: Categories the checker interprets; anything else passes through.
+PROTOCOL_CATEGORIES = (
+    "transfer",
+    "fault",
+    "write",
+    "session-end",
+    "write-back",
+    "invalidate",
+)
+
+
+def check_events(
+    events: Sequence[TraceEvent],
+    collector: DiagnosticCollector,
+    filename: Optional[str] = None,
+) -> None:
+    """Run every trace conformance rule over an in-memory event list."""
+
+    def loc(index: int) -> SourceLocation:
+        return SourceLocation(file=filename, line=index + 1)
+
+    write_faults = set()  # (space, session, page) seen as write faults
+    first_transfer = {}  # session -> index of its first transfer
+    ended = set()  # sessions with a session-end record
+
+    for index, event in enumerate(events):
+        data = event.data or {}
+        session = data.get("session")
+        if event.category == "transfer":
+            if session is not None and session not in first_transfer:
+                first_transfer[session] = index
+            piggyback = data.get("piggyback")
+            # None marks a conventional-RPC trace: no piggyback is
+            # expected, so the rule does not apply.
+            if piggyback == 0:
+                collector.emit(
+                    "SRPC101",
+                    f"{data.get('dir', 'transfer')} "
+                    f"{data.get('src')}->{data.get('dst')} in session "
+                    f"{session!r} carries no modified data set",
+                    loc(index),
+                    hint="the coherency protocol piggybacks the "
+                    "modified data set on every call and reply "
+                    "(paper §3.4)",
+                    session=session,
+                )
+        elif event.category == "fault":
+            if data.get("kind") == "write":
+                write_faults.add(
+                    (data.get("space"), session, data.get("page"))
+                )
+        elif event.category == "write":
+            key = (data.get("space"), session, data.get("page"))
+            if key not in write_faults:
+                collector.emit(
+                    "SRPC104",
+                    f"space {data.get('space')!r} wrote cache page "
+                    f"{data.get('page')} of session {session!r} "
+                    "without a preceding write protection fault",
+                    loc(index),
+                    hint="clean cached pages must be write-protected "
+                    "so the first store faults and marks the page "
+                    "dirty",
+                    session=session,
+                    page=data.get("page"),
+                )
+        elif event.category == "session-end":
+            ended.add(session)
+            _check_session_end(
+                events, index, data, collector, loc(index)
+            )
+
+    for session, index in sorted(
+        first_transfer.items(), key=lambda item: item[1]
+    ):
+        if session not in ended:
+            collector.emit(
+                "SRPC105",
+                f"session {session!r} transferred activity but never "
+                "recorded its end",
+                loc(index),
+                hint="close the session so write-back and the "
+                "invalidation multicast run (or the trace was "
+                "truncated)",
+                session=session,
+            )
+
+
+def _check_session_end(
+    events: Sequence[TraceEvent],
+    index: int,
+    data: dict,
+    collector: DiagnosticCollector,
+    location: SourceLocation,
+) -> None:
+    """SRPC102/SRPC103: obligations that follow a session-end record."""
+    session = data.get("session")
+    wrote_back = set()
+    invalidated = set()
+    for later in events[index + 1 :]:
+        later_data = later.data or {}
+        if later_data.get("session") != session:
+            continue
+        if later.category == "write-back":
+            wrote_back.add(later_data.get("home"))
+        elif later.category == "invalidate":
+            invalidated.add(later_data.get("dst"))
+    dirty_homes = data.get("dirty_homes") or {}
+    for home in sorted(dirty_homes):
+        if home not in wrote_back:
+            collector.emit(
+                "SRPC102",
+                f"session {session!r} ended holding "
+                f"{dirty_homes[home]} dirty item(s) homed at "
+                f"{home!r} but never wrote them back",
+                location,
+                hint="at session end every modified datum must be "
+                "written back to its original address space",
+                session=session,
+                home=home,
+            )
+    participants = data.get("participants") or []
+    missing = [p for p in participants if p not in invalidated]
+    if missing:
+        collector.emit(
+            "SRPC103",
+            f"session {session!r} ended without invalidating "
+            f"participant(s) {', '.join(repr(p) for p in missing)}",
+            location,
+            hint="remote pointers have no meaning after the session; "
+            "every participant must drop its cached data",
+            session=session,
+            missing=list(missing),
+        )
+
+
+def analyze_trace_file(
+    path,
+    collector: DiagnosticCollector,
+) -> Optional[List[TraceEvent]]:
+    """Load and check one trace log; SRPC100 on I/O or format errors.
+
+    Returns the parsed events, or ``None`` when the file was
+    unreadable.
+    """
+    try:
+        events = load_trace(path)
+    except (OSError, UnicodeDecodeError) as exc:
+        collector.emit(
+            "SRPC100",
+            f"cannot read trace log: {exc}",
+            SourceLocation(file=str(path)),
+        )
+        return None
+    except TraceFormatError as exc:
+        collector.emit(
+            "SRPC100",
+            str(exc),
+            _format_error_location(str(exc), str(path)),
+        )
+        return None
+    check_events(events, collector, filename=str(path))
+    return events
+
+
+def analyze_trace_files(
+    paths: Iterable,
+    suppress: Optional[Iterable[str]] = None,
+) -> DiagnosticCollector:
+    """Check several trace logs into one fresh collector."""
+    collector = DiagnosticCollector(suppress=suppress)
+    for path in paths:
+        analyze_trace_file(path, collector)
+    return collector
+
+
+def _format_error_location(message: str, filename: str) -> SourceLocation:
+    """Pull ``line N`` out of a TraceFormatError message."""
+    match = re.search(r"line (\d+)", message)
+    line = int(match.group(1)) if match else None
+    return SourceLocation(file=filename, line=line)

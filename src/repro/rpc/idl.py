@@ -36,9 +36,10 @@ struct by value.  Example::
 
 from __future__ import annotations
 
+import bisect
 import re
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.rpc.errors import RpcError
 from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
@@ -85,13 +86,39 @@ class IdlError(RpcError):
     """A syntax or semantic error in an IDL document."""
 
 
+class SourcePos(NamedTuple):
+    """A 1-based line/column position in an IDL source text."""
+
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.col}"
+
+
 @dataclass
 class IdlDocument:
-    """Everything one IDL file declares."""
+    """Everything one IDL file declares.
+
+    ``source_map`` records where each declaration was written, keyed by
+    tuples — ``("struct", name)``, ``("field", struct, field)``,
+    ``("enum", name)``, ``("interface", name)``,
+    ``("proc", interface, proc)`` and
+    ``("param", interface, proc, param)`` — so analysis tooling can
+    point diagnostics at ``file:line:col``.
+    """
 
     structs: Dict[str, StructType]
     interfaces: Dict[str, InterfaceDef]
     enums: Dict[str, EnumType]
+    source_map: Dict[Tuple[str, ...], SourcePos] = field(
+        default_factory=dict
+    )
+    filename: Optional[str] = None
+
+    def position_of(self, *key: str) -> Optional[SourcePos]:
+        """Source position of one declaration, if known."""
+        return self.source_map.get(tuple(key))
 
     def struct(self, name: str) -> StructType:
         """Look up one declared struct."""
@@ -124,7 +151,12 @@ class IdlDocument:
 
 class _Tokens:
     def __init__(self, text: str) -> None:
-        self._items: List[Tuple[str, str]] = []
+        # Offsets where each line starts, for offset -> line/col.
+        self._line_starts = [0]
+        for index, char in enumerate(text):
+            if char == "\n":
+                self._line_starts.append(index + 1)
+        self._items: List[Tuple[str, str, SourcePos]] = []
         position = 0
         while position < len(text):
             match = _TOKEN.match(text, position)
@@ -132,38 +164,51 @@ class _Tokens:
                 if text[position:].strip():
                     raise IdlError(
                         f"unexpected character {text[position]!r} at "
-                        f"offset {position}"
+                        f"{self._locate(position)}"
                     )
                 break
             position = match.end()
             comment, word, number, punct = match.groups()
             if comment is not None:
                 continue
+            pos = self._locate(match.end() - len(match.group().lstrip()))
             if word is not None:
-                self._items.append(("word", word))
+                self._items.append(("word", word, pos))
             elif number is not None:
-                self._items.append(("number", number))
+                self._items.append(("number", number, pos))
             else:
-                self._items.append(("punct", punct))
+                self._items.append(("punct", punct, pos))
         self._cursor = 0
+        # Position of the most recently consumed token.
+        self.last_pos = SourcePos(1, 1)
+
+    def _locate(self, offset: int) -> SourcePos:
+        line = bisect.bisect_right(self._line_starts, offset)
+        col = offset - self._line_starts[line - 1] + 1
+        return SourcePos(line, col)
 
     def peek(self) -> Optional[Tuple[str, str]]:
         if self._cursor < len(self._items):
-            return self._items[self._cursor]
+            kind, value, _ = self._items[self._cursor]
+            return (kind, value)
         return None
 
     def next(self) -> Tuple[str, str]:
-        item = self.peek()
-        if item is None:
+        if self._cursor >= len(self._items):
             raise IdlError("unexpected end of input")
+        kind, value, pos = self._items[self._cursor]
         self._cursor += 1
-        return item
+        self.last_pos = pos
+        return (kind, value)
 
     def expect(self, kind: str, value: Optional[str] = None) -> str:
         got_kind, got_value = self.next()
         if got_kind != kind or (value is not None and got_value != value):
             wanted = value if value is not None else kind
-            raise IdlError(f"expected {wanted!r}, got {got_value!r}")
+            raise IdlError(
+                f"expected {wanted!r}, got {got_value!r} at "
+                f"{self.last_pos}"
+            )
         return got_value
 
     def accept(self, kind: str, value: Optional[str] = None) -> bool:
@@ -172,6 +217,7 @@ class _Tokens:
             return False
         got_kind, got_value = item
         if got_kind == kind and (value is None or got_value == value):
+            self.last_pos = self._items[self._cursor][2]
             self._cursor += 1
             return True
         return False
@@ -181,11 +227,13 @@ class _Tokens:
 
 
 class _Parser:
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, filename: Optional[str] = None) -> None:
         self.tokens = _Tokens(text)
+        self.filename = filename
         self.structs: Dict[str, StructType] = {}
         self.interfaces: Dict[str, InterfaceDef] = {}
         self.enums: Dict[str, EnumType] = {}
+        self.source_map: Dict[Tuple[str, ...], SourcePos] = {}
         # struct names may be referenced (by pointer) before their
         # definition completes, so declarations are tracked separately.
         self._declared: set = set()
@@ -202,30 +250,41 @@ class _Parser:
             else:
                 raise IdlError(
                     f"expected 'struct', 'enum' or 'interface', "
-                    f"got {keyword!r}"
+                    f"got {keyword!r} at {self.tokens.last_pos}"
                 )
         self._check_references()
         return IdlDocument(
-            dict(self.structs), dict(self.interfaces), dict(self.enums)
+            dict(self.structs),
+            dict(self.interfaces),
+            dict(self.enums),
+            source_map=dict(self.source_map),
+            filename=self.filename,
         )
+
+    def _note(self, pos: SourcePos, *key: str) -> None:
+        self.source_map[tuple(key)] = pos
 
     # -- declarations ---------------------------------------------------------
 
     def _parse_struct(self) -> None:
         name = self.tokens.expect("word")
+        pos = self.tokens.last_pos
         if name in self._declared:
-            raise IdlError(f"duplicate struct {name!r}")
+            raise IdlError(f"duplicate struct {name!r} at {pos}")
         self._declared.add(name)
+        self._note(pos, "struct", name)
         self.tokens.expect("punct", "{")
         fields: List[Field] = []
         while not self.tokens.accept("punct", "}"):
-            fields.append(self._parse_field())
+            fields.append(self._parse_field(name))
         self.tokens.expect("punct", ";")
         if not fields:
-            raise IdlError(f"struct {name!r} has no fields")
-        self.structs[name] = StructType(name, fields)
+            raise IdlError(f"struct {name!r} has no fields ({pos})")
+        spec = StructType(name, fields)
+        spec.source_pos = pos
+        self.structs[name] = spec
 
-    def _parse_field(self) -> Field:
+    def _parse_field(self, struct_name: str) -> Field:
         kind, value = self.tokens.next()
         if (
             kind == "word"
@@ -234,6 +293,9 @@ class _Parser:
         ):
             # C-style sized opaque: ``opaque name[N];``
             field_name = self.tokens.expect("word")
+            self._note(
+                self.tokens.last_pos, "field", struct_name, field_name
+            )
             self.tokens.expect("punct", "[")
             length = int(self.tokens.expect("number"))
             self.tokens.expect("punct", "]")
@@ -241,6 +303,7 @@ class _Parser:
             return Field(field_name, OpaqueType(length))
         spec = self._parse_type_from(kind, value, context="field")
         field_name = self.tokens.expect("word")
+        self._note(self.tokens.last_pos, "field", struct_name, field_name)
         if self.tokens.accept("punct", "["):
             count = int(self.tokens.expect("number"))
             self.tokens.expect("punct", "]")
@@ -250,8 +313,10 @@ class _Parser:
 
     def _parse_enum(self) -> None:
         name = self.tokens.expect("word")
+        pos = self.tokens.last_pos
         if name in self._declared or name in self.enums:
-            raise IdlError(f"duplicate type {name!r}")
+            raise IdlError(f"duplicate type {name!r} at {pos}")
+        self._note(pos, "enum", name)
         self.tokens.expect("punct", "{")
         members: Dict[str, int] = {}
         while True:
@@ -266,20 +331,26 @@ class _Parser:
                 break
             self.tokens.expect("punct", ",")
         self.tokens.expect("punct", ";")
-        self.enums[name] = EnumType(name, members)
+        spec = EnumType(name, members)
+        spec.source_pos = pos
+        self.enums[name] = spec
 
     def _parse_interface(self) -> None:
         name = self.tokens.expect("word")
+        pos = self.tokens.last_pos
         if name in self.interfaces:
-            raise IdlError(f"duplicate interface {name!r}")
+            raise IdlError(f"duplicate interface {name!r} at {pos}")
+        self._note(pos, "interface", name)
         self.tokens.expect("punct", "{")
         procedures: List[ProcedureDef] = []
         while not self.tokens.accept("punct", "}"):
-            procedures.append(self._parse_procedure())
+            procedures.append(self._parse_procedure(name))
         self.tokens.expect("punct", ";")
-        self.interfaces[name] = InterfaceDef(name, procedures)
+        interface = InterfaceDef(name, procedures)
+        interface.source_pos = pos
+        self.interfaces[name] = interface
 
-    def _parse_procedure(self) -> ProcedureDef:
+    def _parse_procedure(self, interface_name: str) -> ProcedureDef:
         returns: Optional[TypeSpec]
         kind, value = self.tokens.next()
         if kind == "word" and value == "void":
@@ -287,18 +358,26 @@ class _Parser:
         else:
             returns = self._parse_type_from(kind, value, context="return")
         proc_name = self.tokens.expect("word")
+        pos = self.tokens.last_pos
+        self._note(pos, "proc", interface_name, proc_name)
         self.tokens.expect("punct", "(")
         params: List[Param] = []
         if not self.tokens.accept("punct", ")"):
             while True:
                 spec = self._parse_type(context="parameter")
                 param_name = self.tokens.expect("word")
+                self._note(
+                    self.tokens.last_pos,
+                    "param", interface_name, proc_name, param_name,
+                )
                 params.append(Param(param_name, spec))
                 if self.tokens.accept("punct", ")"):
                     break
                 self.tokens.expect("punct", ",")
         self.tokens.expect("punct", ";")
-        return ProcedureDef(proc_name, params, returns=returns)
+        procedure = ProcedureDef(proc_name, params, returns=returns)
+        procedure.source_pos = pos
+        return procedure
 
     # -- types ----------------------------------------------------------------
 
@@ -310,9 +389,15 @@ class _Parser:
         self, kind: str, value: str, context: str
     ) -> TypeSpec:
         if kind != "word":
-            raise IdlError(f"expected a type in {context}, got {value!r}")
+            raise IdlError(
+                f"expected a type in {context}, got {value!r} at "
+                f"{self.tokens.last_pos}"
+            )
         if value == "void":
-            raise IdlError(f"'void' is not a valid {context} type")
+            raise IdlError(
+                f"'void' is not a valid {context} type at "
+                f"{self.tokens.last_pos}"
+            )
         if value == "opaque":
             self.tokens.expect("punct", "[")
             length = int(self.tokens.expect("number"))
@@ -329,40 +414,44 @@ class _Parser:
         if value in self.enums:
             return self.enums[value]
         # A named struct: pointer or by-value embedding.
+        name_pos = self.tokens.last_pos
         if self.tokens.accept("punct", "*"):
-            self._reference(value)
+            self._reference(value, name_pos)
             return PointerType(value)
         if value in self.structs:
             return self.structs[value]
         raise IdlError(
-            f"unknown type {value!r} in {context} (by-value use "
-            "requires the struct to be defined first)"
+            f"unknown type {value!r} in {context} at "
+            f"{self.tokens.last_pos} (by-value use requires the "
+            "struct to be defined first)"
         )
 
-    _references: set = set()
-
-    def _reference(self, name: str) -> None:
+    def _reference(self, name: str, pos: SourcePos) -> None:
         if not hasattr(self, "_refs"):
-            self._refs = set()
-        self._refs.add(name)
+            self._refs: Dict[str, SourcePos] = {}
+        self._refs.setdefault(name, pos)
 
     def _check_references(self) -> None:
-        for name in getattr(self, "_refs", set()):
+        for name, pos in getattr(self, "_refs", {}).items():
             if name not in self.structs:
                 raise IdlError(
-                    f"pointer target {name!r} is never defined"
+                    f"pointer target {name!r} (referenced at {pos}) "
+                    "is never defined"
                 )
 
 
-def parse_idl(text: str) -> IdlDocument:
-    """Parse one IDL document."""
-    return _Parser(text).parse()
+def parse_idl(text: str, filename: Optional[str] = None) -> IdlDocument:
+    """Parse one IDL document.
+
+    ``filename`` is recorded on the document for diagnostics only.
+    """
+    return _Parser(text, filename=filename).parse()
 
 
 def load_idl(path) -> IdlDocument:
     """Parse an IDL document from a file path."""
     with open(path, "r", encoding="utf-8") as handle:
-        return parse_idl(handle.read())
+        return parse_idl(handle.read(), filename=str(path))
 
 
 def compile_idl(text: str) -> str:

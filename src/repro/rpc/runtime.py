@@ -293,7 +293,11 @@ class RpcRuntime:
         encoder.pack_string(qualified)
         # Activity is about to move to dst: attach the coherency /
         # memory-batch piggyback (smart runtime) before the arguments.
-        encoder.pack_opaque(self._make_piggyback(state, dst))
+        piggyback = self._make_piggyback(state, dst)
+        encoder.pack_opaque(piggyback)
+        self._record_transfer(
+            "call", state, self.site_id, dst, qualified, piggyback
+        )
         marshal.pack_args(
             encoder,
             procedure,
@@ -317,7 +321,11 @@ class RpcRuntime:
             raise RpcError(f"bad reply status {status!r}")
         # Activity has moved back to us: apply the piggyback first so
         # any pointers in the result resolve against fresh data.
-        self._apply_piggyback(state, dst, decoder.unpack_opaque())
+        reply_piggyback = decoder.unpack_opaque()
+        self._record_transfer(
+            "return", state, dst, self.site_id, qualified, reply_piggyback
+        )
+        self._apply_piggyback(state, dst, reply_piggyback)
         result = marshal.unpack_result(
             decoder, procedure, pointer_in=self._bind_pointer_in(state)
         )
@@ -373,7 +381,45 @@ class RpcRuntime:
                 f"site {self.site_id!r} has no procedure {qualified!r}"
             ) from None
 
+    def _record_transfer(
+        self,
+        direction: str,
+        state: SessionState,
+        src: str,
+        dst: str,
+        qualified: str,
+        piggyback: bytes,
+    ) -> None:
+        """Trace one activity transfer (call or return).
+
+        The recorded piggyback size is what the offline conformance
+        checker uses to verify the modified data set travelled; it is
+        ``None`` for conventional runtimes, which have no coherency
+        protocol to conform to.
+        """
+        size = len(piggyback) if self._piggyback_expected else None
+        self.stats.record_event(
+            self.clock.now,
+            "transfer",
+            f"{src}->{dst} {direction} {qualified} "
+            f"(session {state.session_id}, piggyback "
+            f"{size if size is not None else 'n/a'})",
+            data={
+                "dir": direction,
+                "session": state.session_id,
+                "ground": state.ground_site,
+                "src": src,
+                "dst": dst,
+                "proc": qualified,
+                "piggyback": size,
+            },
+        )
+
     # -- extension hooks ------------------------------------------------------
+
+    # Whether activity transfers must carry the coherency piggyback
+    # (the smart runtime overrides this to True).
+    _piggyback_expected = False
 
     def _make_session_state(
         self, session_id: str, ground_site: str

@@ -239,4 +239,10 @@ class Network:
             "message",
             f"{message.src}->{message.dst} {message.kind.value} "
             f"{message.size}B",
+            data={
+                "src": message.src,
+                "dst": message.dst,
+                "kind": message.kind.value,
+                "size": message.size,
+            },
         )

@@ -9,19 +9,28 @@ EXPERIMENTS.md uses to explain the measured shapes.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Mapping, Optional
 
 from repro.simnet.message import Message, MessageKind
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One timestamped record in the simulation trace."""
+    """One timestamped record in the simulation trace.
+
+    ``data`` carries optional machine-readable details (message kinds,
+    session ids, page numbers) so recorded traces can be checked
+    offline by :mod:`repro.analysis.trace_rules`; ``detail`` stays the
+    human-readable rendering used by the timeline formatter.
+    """
 
     time: float
     category: str
     detail: str
+    data: Optional[Mapping[str, Any]] = field(
+        default=None, compare=False
+    )
 
 
 class StatsCollector:
@@ -77,10 +86,16 @@ class StatsCollector:
 
     # -- tracing ----------------------------------------------------------
 
-    def record_event(self, time: float, category: str, detail: str) -> None:
+    def record_event(
+        self,
+        time: float,
+        category: str,
+        detail: str,
+        data: Optional[Mapping[str, Any]] = None,
+    ) -> None:
         """Append a trace event if tracing is enabled."""
         if self._trace_enabled:
-            self.events.append(TraceEvent(time, category, detail))
+            self.events.append(TraceEvent(time, category, detail, data))
 
     def events_in(self, category: str) -> Iterator[TraceEvent]:
         """Iterate trace events of one category."""

@@ -1,4 +1,4 @@
-"""Human-readable rendering of simulation traces.
+"""Rendering and serialization of simulation traces.
 
 Enable tracing by constructing the network's stats collector with
 ``trace=True``; every message, fault and protocol action is then
@@ -9,11 +9,17 @@ timeline, which is the fastest way to see the method at work::
     0.000     message   A->B call tree_ops.search ...
     0.412     message   B->A data_request 40B
     ...
+
+Traces also round-trip through a line-oriented JSON format (one event
+per line) via :func:`save_trace` / :func:`load_trace`, so a recorded
+run can be replayed offline — e.g. by the conformance checker in
+``repro.analysis``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+import json
+from typing import Iterable, List, Optional, Union
 
 from repro.simnet.stats import StatsCollector, TraceEvent
 
@@ -46,6 +52,83 @@ def format_timeline(
     if dropped:
         lines.append(f"... {dropped} more events")
     return "\n".join(lines)
+
+
+class TraceFormatError(ValueError):
+    """A trace log line could not be parsed back into a TraceEvent."""
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """Serialize one event as a single JSON line (no newline)."""
+    record = {"t": event.time, "category": event.category,
+              "detail": event.detail}
+    if event.data is not None:
+        record["data"] = dict(event.data)
+    return json.dumps(record, sort_keys=True)
+
+
+def event_from_json(line: str, lineno: int = 0) -> TraceEvent:
+    """Parse one JSON trace line back into a :class:`TraceEvent`."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"line {lineno}: not valid JSON: {exc}"
+        ) from None
+    if not isinstance(record, dict):
+        raise TraceFormatError(f"line {lineno}: expected a JSON object")
+    try:
+        time = record["t"]
+        category = record["category"]
+        detail = record["detail"]
+    except KeyError as exc:
+        raise TraceFormatError(
+            f"line {lineno}: missing trace field {exc}"
+        ) from None
+    if not isinstance(time, (int, float)) or isinstance(time, bool):
+        raise TraceFormatError(f"line {lineno}: bad timestamp {time!r}")
+    if not isinstance(category, str) or not isinstance(detail, str):
+        raise TraceFormatError(
+            f"line {lineno}: category and detail must be strings"
+        )
+    data = record.get("data")
+    if data is not None and not isinstance(data, dict):
+        raise TraceFormatError(f"line {lineno}: bad data field {data!r}")
+    return TraceEvent(
+        time=float(time), category=category, detail=detail, data=data
+    )
+
+
+def dump_trace(events: Iterable[TraceEvent]) -> str:
+    """Serialize events as JSON-lines text (trailing newline included)."""
+    lines = [event_to_json(event) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_trace(text: str) -> List[TraceEvent]:
+    """Parse JSON-lines text back into a list of events."""
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        events.append(event_from_json(line, lineno))
+    return events
+
+
+def save_trace(
+    events: Union[Iterable[TraceEvent], StatsCollector], path
+) -> None:
+    """Write a trace log (one JSON object per line) to ``path``."""
+    if isinstance(events, StatsCollector):
+        events = events.events
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_trace(events))
+
+
+def load_trace(path) -> List[TraceEvent]:
+    """Read a trace log written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_trace(handle.read())
 
 
 def summarize_trace(stats: StatsCollector) -> str:

@@ -290,6 +290,19 @@ class CacheManager:
         """The user-level access-violation handler for cache pages."""
         page = self.page_state(fault.page_number)
         protection = self.space.protection_of(fault.page_number)
+        kind = "write" if fault.kind is FaultKind.WRITE else "read"
+        self.runtime.stats.record_event(
+            self.runtime.clock.now,
+            "fault",
+            f"{self.runtime.site_id}: page {fault.page_number} "
+            f"{kind} fault (session {self.state.session_id})",
+            data={
+                "space": self.runtime.site_id,
+                "session": self.state.session_id,
+                "page": fault.page_number,
+                "kind": kind,
+            },
+        )
         if protection is Protection.NONE:
             self._fill(page)
         if fault.kind is FaultKind.WRITE:
@@ -357,6 +370,17 @@ class CacheManager:
         self.dirty_pages.add(page_number)
         self.space.protect(page_number, Protection.READ_WRITE)
         self.runtime.stats.write_faults += 1
+        self.runtime.stats.record_event(
+            self.runtime.clock.now,
+            "write",
+            f"{self.runtime.site_id}: page {page_number} marked dirty "
+            f"(session {self.state.session_id})",
+            data={
+                "space": self.runtime.site_id,
+                "session": self.state.session_id,
+                "page": page_number,
+            },
+        )
 
     def dirty_entries(self) -> List[AllocEntry]:
         """Entries of the modified data set, deduplicated across spans."""

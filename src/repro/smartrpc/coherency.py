@@ -98,14 +98,43 @@ def end_session(
 ) -> None:
     """Ground-side session teardown: write back, invalidate, drop."""
     runtime.flush_memory_batch(state)
+    participants = sorted(
+        p for p in state.participants if p != runtime.site_id
+    )
+    dirty_homes: Dict[str, int] = {}
+    for item in modified_items(runtime, state):
+        home = item.pointer.space_id
+        if home != runtime.site_id:
+            dirty_homes[home] = dirty_homes.get(home, 0) + 1
+    runtime.stats.record_event(
+        runtime.clock.now,
+        "session-end",
+        f"{runtime.site_id}: session {state.session_id} ends "
+        f"(participants {participants}, dirty homes {dirty_homes})",
+        data={
+            "space": runtime.site_id,
+            "session": state.session_id,
+            "participants": participants,
+            "dirty_homes": dict(dirty_homes),
+        },
+    )
     _write_back(runtime, state)
-    for participant in sorted(state.participants):
-        if participant == runtime.site_id:
-            continue
+    for participant in participants:
         encoder = XdrEncoder()
         encoder.pack_string(state.session_id)
         runtime.site.send(
             participant, MessageKind.INVALIDATE, encoder.getvalue()
+        )
+        runtime.stats.record_event(
+            runtime.clock.now,
+            "invalidate",
+            f"{runtime.site_id}: session {state.session_id} "
+            f"invalidated at {participant}",
+            data={
+                "space": runtime.site_id,
+                "session": state.session_id,
+                "dst": participant,
+            },
         )
     state.cache.invalidate()
     state.relayed_dirty.clear()
@@ -133,6 +162,18 @@ def _write_back(
             reply_kind=MessageKind.WRITE_BACK_ACK,
         )
         runtime.stats.write_backs += 1
+        runtime.stats.record_event(
+            runtime.clock.now,
+            "write-back",
+            f"{runtime.site_id}: session {state.session_id} wrote "
+            f"{len(items)} item(s) back to {home}",
+            data={
+                "space": runtime.site_id,
+                "session": state.session_id,
+                "home": home,
+                "items": len(items),
+            },
+        )
 
 
 def handle_write_back(

@@ -70,6 +70,8 @@ class SmartSessionState(SessionState):
 class SmartRpcRuntime(RpcRuntime):
     """RPC runtime with transparent remote pointers."""
 
+    _piggyback_expected = True
+
     def __init__(
         self,
         network: Network,

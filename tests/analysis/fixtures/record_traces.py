@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Regenerate the recorded trace fixtures.
+
+Runs one deterministic three-space smart-RPC session (ground A calls a
+server on C that hands back a pointer into C's heap; A then modifies
+the cached data locally) and records its trace, which exercises every
+protocol obligation: activity transfers with piggybacks, a write
+fault, a write, a session end with a dirty remote home, a write-back,
+and an invalidation.
+
+The good trace lands in ``traces/ok/``; each file in ``traces/bad/``
+is the same trace with one obligation surgically removed, so exactly
+one conformance rule fires per file.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/record_traces.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.rpc.interface import InterfaceDef, ProcedureDef
+from repro.rpc.stubgen import ClientStub, bind_server
+from repro.simnet import Network, StatsCollector
+from repro.simnet.tracefmt import dump_trace, save_trace
+from repro.smartrpc import SmartRpcRuntime
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    register_tree_types,
+)
+from repro.xdr import SPARC32, X86_64
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.types import PointerType
+from repro.xdr.view import StructView
+
+HERE = Path(__file__).resolve().parent
+OK = HERE / "traces" / "ok"
+BAD = HERE / "traces" / "bad"
+
+
+def record_session():
+    """One deterministic session whose trace uses every obligation."""
+    network = Network(stats=StatsCollector(trace=True))
+    TypeNameServer(network.add_site("NS"), TypeRegistry())
+    site_a = network.add_site("A")
+    site_c = network.add_site("C")
+    machine_a = SmartRpcRuntime(
+        network, site_a, SPARC32, resolver=TypeResolver(site_a, "NS")
+    )
+    machine_c = SmartRpcRuntime(
+        network, site_c, X86_64, resolver=TypeResolver(site_c, "NS")
+    )
+    register_tree_types(machine_a)
+    register_tree_types(machine_c)
+
+    root = build_complete_tree(machine_c, 3)
+    expose = InterfaceDef(
+        "expose",
+        [
+            ProcedureDef(
+                "tree_root", [], returns=PointerType(TREE_NODE_TYPE_ID)
+            ),
+        ],
+    )
+    bind_server(machine_c, expose, {"tree_root": lambda ctx: root})
+    stub = ClientStub(machine_a, expose, "C")
+    spec = machine_a.resolver.resolve(TREE_NODE_TYPE_ID)
+
+    with machine_a.session() as session:
+        pointer = stub.tree_root(session)
+        view = StructView(machine_a.mem, pointer, spec, machine_a.arch)
+        view.set("data", (555).to_bytes(8, "big"))
+    return network.stats.events
+
+
+def mutate(events, drop=None, transform=None):
+    """Copy the trace, dropping or rewriting selected events."""
+    result = []
+    for event in events:
+        if drop is not None and drop(event):
+            continue
+        if transform is not None:
+            event = transform(event) or event
+        result.append(event)
+    return result
+
+
+def zero_first_piggyback(events):
+    """Rewrite the first transfer as if it carried no modified data."""
+    done = False
+
+    def transform(event):
+        nonlocal done
+        if not done and event.category == "transfer":
+            done = True
+            data = dict(event.data)
+            data["piggyback"] = 0
+            return dataclasses.replace(event, data=data)
+        return None
+
+    return mutate(events, transform=transform)
+
+
+def main() -> None:
+    OK.mkdir(parents=True, exist_ok=True)
+    BAD.mkdir(parents=True, exist_ok=True)
+    events = record_session()
+    categories = {e.category for e in events}
+    required = {
+        "transfer", "fault", "write",
+        "session-end", "write-back", "invalidate",
+    }
+    missing = required - categories
+    if missing:
+        raise SystemExit(f"recorded trace lacks {sorted(missing)}")
+
+    save_trace(events, OK / "tree_session.trace")
+    save_trace(
+        mutate(events, drop=lambda e: e.category == "invalidate"),
+        BAD / "no_invalidate.trace",
+    )
+    save_trace(
+        mutate(events, drop=lambda e: e.category == "write-back"),
+        BAD / "no_write_back.trace",
+    )
+    save_trace(
+        mutate(events, drop=lambda e: e.category == "session-end"),
+        BAD / "no_session_end.trace",
+    )
+    save_trace(
+        mutate(
+            events,
+            drop=lambda e: e.category == "fault"
+            and (e.data or {}).get("kind") == "write",
+        ),
+        BAD / "no_write_fault.trace",
+    )
+    save_trace(zero_first_piggyback(events), BAD / "empty_piggyback.trace")
+
+    good = dump_trace(events).splitlines()
+    good[1] = '{"not": "a trace record"}'
+    (BAD / "malformed.trace").write_text(
+        "\n".join(good) + "\n", encoding="utf-8"
+    )
+    print(f"recorded {len(events)} events into {OK} and 6 mutants into {BAD}")
+
+
+if __name__ == "__main__":
+    main()

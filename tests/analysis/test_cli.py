@@ -1,0 +1,152 @@
+"""End-to-end tests for the ``python -m repro.analysis`` CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def run(capsys, *argv):
+    status = main([str(a) for a in argv])
+    captured = capsys.readouterr()
+    return status, captured.out, captured.err
+
+
+class TestExitStatus:
+    def test_clean_file_exits_zero(self, capsys):
+        status, out, _ = run(capsys, FIXTURES / "idl" / "srpc001_ok.x")
+        assert status == 0
+        assert "0 error(s)" in out
+
+    def test_error_exits_one(self, capsys):
+        status, out, _ = run(capsys, FIXTURES / "idl" / "srpc001_bad.x")
+        assert status == 1
+        assert "SRPC001" in out
+
+    def test_warning_also_fails_the_lint(self, capsys):
+        status, out, _ = run(capsys, FIXTURES / "idl" / "srpc003_bad.x")
+        assert status == 1
+        assert "SRPC003" in out
+
+    @pytest.mark.parametrize(
+        "fixture",
+        [
+            "srpc001_bad.x", "srpc003_bad.x", "srpc005_bad.x",
+            "srpc006_bad.x", "srpc007_bad.x",
+        ],
+    )
+    def test_every_bad_idl_fixture_exits_nonzero(self, capsys, fixture):
+        status, out, _ = run(
+            capsys, "--json", FIXTURES / "idl" / fixture
+        )
+        assert status == 1
+        expected = fixture[:7].upper()
+        assert expected in {
+            d["code"] for d in json.loads(out)["diagnostics"]
+        }
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            "empty_piggyback.trace", "no_write_back.trace",
+            "no_invalidate.trace", "no_write_fault.trace",
+            "no_session_end.trace", "malformed.trace",
+        ],
+    )
+    def test_every_bad_trace_fixture_exits_nonzero(self, capsys, trace):
+        status, out, _ = run(
+            capsys, "--json", FIXTURES / "traces" / "bad" / trace
+        )
+        assert status == 1
+        assert json.loads(out)["diagnostics"]
+
+    def test_missing_file_exits_two(self, capsys):
+        status, _, err = run(capsys, FIXTURES / "idl" / "absent.x")
+        assert status == 2
+        assert "no such file" in err
+
+    def test_no_paths_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestDispatch:
+    def test_trace_files_route_to_conformance_rules(self, capsys):
+        status, out, _ = run(
+            capsys, FIXTURES / "traces" / "bad" / "no_invalidate.trace"
+        )
+        assert status == 1
+        assert "SRPC103" in out
+
+    def test_mixed_inputs_lint_together(self, capsys):
+        status, out, _ = run(
+            capsys,
+            FIXTURES / "idl" / "srpc001_bad.x",
+            FIXTURES / "traces" / "bad" / "no_invalidate.trace",
+        )
+        assert status == 1
+        assert "SRPC001" in out and "SRPC103" in out
+
+    def test_directory_scanned_recursively(self, capsys):
+        status, out, _ = run(capsys, FIXTURES / "traces" / "bad")
+        assert status == 1
+        for code in (
+            "SRPC100", "SRPC101", "SRPC102", "SRPC103", "SRPC104",
+        ):
+            assert code in out
+
+
+class TestFlags:
+    def test_json_report_is_machine_readable(self, capsys):
+        _, out, _ = run(
+            capsys, "--json", FIXTURES / "idl" / "srpc003_bad.x"
+        )
+        report = json.loads(out)
+        assert report["summary"]["warning"] == 1
+        assert report["diagnostics"][0]["code"] == "SRPC003"
+
+    def test_suppress_drops_rule_and_fixes_exit(self, capsys):
+        status, out, _ = run(
+            capsys,
+            "--suppress",
+            "SRPC001",
+            FIXTURES / "idl" / "srpc001_bad.x",
+        )
+        assert status == 0
+        assert "SRPC001" not in out
+
+    def test_closure_size_reconfigures_srpc005(self, capsys):
+        status, out, _ = run(
+            capsys,
+            "--closure-size",
+            "64",
+            FIXTURES / "idl" / "srpc005_ok.x",
+        )
+        assert status == 1
+        assert "SRPC005" in out
+
+
+class TestSelfCheck:
+    def test_self_check_passes_on_this_repo(self, capsys):
+        status, out, _ = run(capsys, "--self-check", "--root", REPO_ROOT)
+        assert status == 0
+        assert "self-check" in out
+
+    def test_self_check_rejects_positional_paths(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--self-check", "whatever.x"])
+        assert excinfo.value.code == 2
+
+    def test_self_check_fails_on_dirty_root(self, tmp_path, capsys):
+        bad = tmp_path / "examples" / "interfaces"
+        bad.mkdir(parents=True)
+        (bad / "broken.x").write_text("struct oops {", encoding="utf-8")
+        status, out, _ = run(capsys, "--self-check", "--root", tmp_path)
+        assert status == 1
+        assert "SRPC001" in out

@@ -1,0 +1,139 @@
+"""Unit tests for the shared diagnostic engine."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    RULES,
+    Severity,
+    SourceLocation,
+    rule,
+)
+from repro.analysis.render import render_json, render_text
+
+GOLDEN = Path(__file__).parent / "fixtures" / "golden" / "report.json"
+
+
+def sample_diagnostics():
+    """A fixed diagnostic list shared with the golden-JSON fixture."""
+    collector = DiagnosticCollector()
+    collector.emit(
+        "SRPC003",
+        "struct 'stray' is not reachable from any interface procedure",
+        SourceLocation(file="a.x", line=4, col=8),
+        hint="remove the declaration or reference it from a signature",
+    )
+    collector.emit(
+        "SRPC001",
+        "expected '}' (line 9, column 1)",
+        SourceLocation(file="a.x", line=9, col=1),
+    )
+    collector.emit(
+        "SRPC103",
+        "session 'A#1' ended without invalidating participant(s) 'B'",
+        SourceLocation(file="run.trace", line=12),
+        session="A#1",
+    )
+    return collector
+
+
+class TestCatalog:
+    def test_every_code_has_three_digit_suffix(self):
+        for code in RULES:
+            assert code.startswith("SRPC") and code[4:].isdigit()
+
+    def test_rule_lookup(self):
+        assert rule("SRPC001").severity is Severity.ERROR
+        assert rule("SRPC003").severity is Severity.WARNING
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            rule("SRPC999")
+
+    def test_layers_are_distinct(self):
+        idl = [c for c in RULES if c < "SRPC100"]
+        trace = [c for c in RULES if "SRPC100" <= c < "SRPC200"]
+        session = [c for c in RULES if c >= "SRPC200"]
+        assert idl and trace and session
+
+
+class TestSourceLocation:
+    def test_full_form(self):
+        assert str(SourceLocation("a.x", 3, 7)) == "a.x:3:7"
+
+    def test_line_only(self):
+        assert str(SourceLocation("run.trace", 12)) == "run.trace:12"
+
+    def test_empty(self):
+        assert str(SourceLocation()) == "<input>"
+
+
+class TestCollector:
+    def test_emit_uses_catalog_severity(self):
+        collector = DiagnosticCollector()
+        diagnostic = collector.emit("SRPC001", "boom")
+        assert diagnostic.severity is Severity.ERROR
+        assert collector.has_errors
+
+    def test_suppression_drops_silently(self):
+        collector = DiagnosticCollector(suppress=["SRPC003"])
+        assert collector.emit("SRPC003", "orphan") is None
+        assert len(collector) == 0
+
+    def test_unknown_code_raises_even_when_suppressing(self):
+        collector = DiagnosticCollector()
+        with pytest.raises(KeyError):
+            collector.emit("SRPC999", "nope")
+
+    def test_counts(self):
+        collector = sample_diagnostics()
+        assert collector.counts() == {
+            "error": 2, "warning": 1, "info": 0
+        }
+
+    def test_sorted_orders_by_file_then_position(self):
+        ordered = sample_diagnostics().sorted()
+        assert [d.code for d in ordered] == [
+            "SRPC003", "SRPC001", "SRPC103"
+        ]
+
+    def test_extend_honours_suppression(self):
+        source = sample_diagnostics()
+        target = DiagnosticCollector(suppress=["SRPC103"])
+        target.extend(source)
+        assert [d.code for d in target] == ["SRPC003", "SRPC001"]
+
+
+class TestRenderers:
+    def test_text_includes_location_and_code(self):
+        text = render_text(sample_diagnostics())
+        assert "a.x:4:8: warning SRPC003" in text
+        assert "run.trace:12: error SRPC103" in text
+        assert text.endswith("2 error(s), 1 warning(s), 0 note(s)")
+
+    def test_text_hint_rendered_indented(self):
+        text = render_text(sample_diagnostics())
+        assert "\n    hint: remove the declaration" in text
+
+    def test_json_matches_golden(self):
+        rendered = render_json(sample_diagnostics())
+        assert json.loads(rendered) == json.loads(
+            GOLDEN.read_text(encoding="utf-8")
+        )
+
+    def test_json_is_stable(self):
+        one = render_json(sample_diagnostics())
+        two = render_json(sample_diagnostics())
+        assert one == two
+
+    def test_empty_render(self):
+        collector = DiagnosticCollector()
+        assert render_text(collector) == (
+            "0 error(s), 0 warning(s), 0 note(s)"
+        )
+        report = json.loads(render_json(collector))
+        assert report["diagnostics"] == []

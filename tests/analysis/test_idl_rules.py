@@ -1,0 +1,119 @@
+"""Fixture-driven tests: one passing and one failing case per rule."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.idl_rules import (
+    analyze_files,
+    analyze_source,
+    file_suppressions,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "idl"
+
+
+def lint(*names, **kwargs):
+    return analyze_files(
+        [FIXTURES / name for name in names], **kwargs
+    )
+
+
+def codes(collector):
+    return sorted({d.code for d in collector})
+
+
+@pytest.mark.parametrize(
+    "fixture, code",
+    [
+        ("srpc001", "SRPC001"),
+        ("srpc003", "SRPC003"),
+        ("srpc005", "SRPC005"),
+        ("srpc006", "SRPC006"),
+        ("srpc007", "SRPC007"),
+    ],
+)
+class TestSingleFileRules:
+    def test_bad_fixture_trips_exactly_its_rule(self, fixture, code):
+        collector = lint(f"{fixture}_bad.x")
+        assert codes(collector) == [code]
+
+    def test_ok_fixture_is_clean(self, fixture, code):
+        collector = lint(f"{fixture}_ok.x")
+        assert codes(collector) == []
+
+
+class TestCrossFileConflicts:
+    def test_identical_rebind_is_clean(self):
+        collector = lint("srpc008_ok_a.x", "srpc008_ok_b.x")
+        assert codes(collector) == []
+
+    def test_conflicting_rebind_trips_srpc008(self):
+        collector = lint("srpc008_bad_a.x", "srpc008_bad_b.x")
+        assert "SRPC008" in codes(collector)
+
+    def test_conflict_cites_both_files(self):
+        collector = lint("srpc008_bad_a.x", "srpc008_bad_b.x")
+        conflict = next(d for d in collector if d.code == "SRPC008")
+        assert "srpc008_bad_a.x" in conflict.message
+        assert conflict.location.file.endswith("srpc008_bad_b.x")
+
+
+class TestDiagnosticLocations:
+    def test_orphan_warning_points_at_declaration(self):
+        collector = lint("srpc003_bad.x")
+        finding = collector.diagnostics[0]
+        text = (FIXTURES / "srpc003_bad.x").read_text()
+        declared_on = next(
+            i
+            for i, line in enumerate(text.splitlines(), start=1)
+            if line.startswith("struct stray")
+        )
+        assert finding.location.line == declared_on
+
+    def test_parse_error_carries_position(self):
+        collector = lint("srpc001_bad.x")
+        finding = collector.diagnostics[0]
+        assert finding.location.line is not None
+
+
+class TestSuppression:
+    def test_file_directive_parsed(self):
+        text = (FIXTURES / "suppressed.x").read_text()
+        assert file_suppressions(text) == ["SRPC003"]
+
+    def test_directive_silences_the_rule(self):
+        collector = lint("suppressed.x")
+        assert codes(collector) == []
+
+    def test_same_shape_warns_without_directive(self):
+        # suppressed.x is srpc003_bad.x plus the directive; removing
+        # the directive line must bring the warning back.
+        text = (FIXTURES / "suppressed.x").read_text()
+        stripped = "\n".join(
+            line
+            for line in text.splitlines()
+            if "smartlint:" not in line
+        )
+        collector = analyze_source(stripped, filename="stripped.x")
+        assert codes(collector) == ["SRPC003"]
+
+
+class TestClosureBudget:
+    def test_budget_is_configurable(self):
+        # The ok fixture's 72-byte record overflows a 64-byte budget.
+        collector = lint("srpc005_ok.x", closure_size=64)
+        assert "SRPC005" in codes(collector)
+
+
+class TestShippedInterfacesStayClean:
+    def test_examples_lint_clean(self):
+        shipped = sorted(
+            (Path(__file__).parents[2] / "examples" / "interfaces").glob(
+                "*.x"
+            )
+        )
+        assert shipped, "no shipped interfaces found"
+        collector = analyze_files(shipped)
+        assert codes(collector) == []

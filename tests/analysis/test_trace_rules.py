@@ -1,0 +1,138 @@
+"""Trace conformance tests over the recorded fixture traces.
+
+``fixtures/traces/ok/tree_session.trace`` is a real recorded session
+(see ``fixtures/record_traces.py``); each bad trace is that session
+with one protocol obligation removed, so exactly one rule fires.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.trace_rules import (
+    analyze_trace_file,
+    check_events,
+)
+from repro.simnet.tracefmt import (
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+
+TRACES = Path(__file__).parent / "fixtures" / "traces"
+
+
+def lint_trace(path):
+    collector = DiagnosticCollector()
+    analyze_trace_file(path, collector)
+    return collector
+
+
+def codes(collector):
+    return sorted({d.code for d in collector})
+
+
+class TestRoundTrip:
+    def test_saved_trace_loads_identically(self, tmp_path):
+        events = load_trace(TRACES / "ok" / "tree_session.trace")
+        copy = tmp_path / "copy.trace"
+        save_trace(events, copy)
+        assert load_trace(copy) == events
+
+    def test_dump_parse_round_trip(self):
+        events = load_trace(TRACES / "ok" / "tree_session.trace")
+        assert parse_trace(dump_trace(events)) == events
+
+    def test_malformed_line_rejected_with_line_number(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            parse_trace('{"t": 0, "category": "x", "detail": "d"}\nnope')
+
+
+class TestRecordedSession:
+    def test_good_trace_is_clean(self):
+        assert codes(lint_trace(TRACES / "ok" / "tree_session.trace")) == []
+
+    def test_good_trace_covers_every_protocol_category(self):
+        events = load_trace(TRACES / "ok" / "tree_session.trace")
+        seen = {event.category for event in events}
+        assert {
+            "transfer", "fault", "write",
+            "session-end", "write-back", "invalidate",
+        } <= seen
+
+
+@pytest.mark.parametrize(
+    "trace, code",
+    [
+        ("empty_piggyback.trace", "SRPC101"),
+        ("no_write_back.trace", "SRPC102"),
+        ("no_invalidate.trace", "SRPC103"),
+        ("no_write_fault.trace", "SRPC104"),
+        ("no_session_end.trace", "SRPC105"),
+        ("malformed.trace", "SRPC100"),
+    ],
+)
+class TestMutatedTraces:
+    def test_each_mutant_trips_exactly_its_rule(self, trace, code):
+        assert codes(lint_trace(TRACES / "bad" / trace)) == [code]
+
+
+class TestDroppedInvalidation:
+    """The ISSUE's smoke test: removing the invalidation record from a
+    recorded session must produce SRPC errors."""
+
+    def test_dropping_invalidation_is_an_error(self):
+        events = [
+            event
+            for event in load_trace(TRACES / "ok" / "tree_session.trace")
+            if event.category != "invalidate"
+        ]
+        collector = DiagnosticCollector()
+        check_events(events, collector, filename="mutated.trace")
+        assert collector.has_errors
+        assert codes(collector) == ["SRPC103"]
+
+    def test_diagnostic_points_at_session_end_line(self):
+        events = load_trace(TRACES / "ok" / "tree_session.trace")
+        end_index = next(
+            i
+            for i, event in enumerate(events)
+            if event.category == "session-end"
+        )
+        mutated = [e for e in events if e.category != "invalidate"]
+        collector = DiagnosticCollector()
+        check_events(mutated, collector, filename="mutated.trace")
+        finding = collector.diagnostics[0]
+        # The session-end keeps its index: invalidates only follow it.
+        assert finding.location.line == end_index + 1
+        assert finding.location.file == "mutated.trace"
+
+
+class TestConventionalTraces:
+    def test_no_piggyback_expected_means_no_srpc101(self):
+        events = parse_trace(
+            '{"t": 0.0, "category": "transfer", "detail": "call", '
+            '"data": {"dir": "call", "session": "s", "src": "A", '
+            '"dst": "B", "piggyback": null}}\n'
+            '{"t": 0.1, "category": "session-end", "detail": "end", '
+            '"data": {"session": "s", "participants": [], '
+            '"dirty_homes": {}}}\n'
+        )
+        collector = DiagnosticCollector()
+        check_events(events, collector, filename="conv.trace")
+        assert codes(collector) == []
+
+    def test_unreadable_file_reports_srpc100(self, tmp_path):
+        collector = DiagnosticCollector()
+        analyze_trace_file(tmp_path / "absent.trace", collector)
+        assert codes(collector) == ["SRPC100"]
+
+    def test_binary_garbage_reports_srpc100(self, tmp_path):
+        garbage = tmp_path / "garbage.trace"
+        garbage.write_bytes(bytes([0xFC, 0x00, 0xFF, 0x80]) * 16)
+        collector = DiagnosticCollector()
+        assert analyze_trace_file(garbage, collector) is None
+        assert codes(collector) == ["SRPC100"]

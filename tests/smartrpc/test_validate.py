@@ -4,7 +4,11 @@ import pytest
 
 from repro.memory.page import Protection
 from repro.smartrpc.long_pointer import LongPointer
-from repro.smartrpc.validate import InvariantViolation, validate_session
+from repro.smartrpc.validate import (
+    InvariantViolation,
+    session_diagnostics,
+    validate_session,
+)
 from repro.workloads.traversal import bind_tree_server, tree_client
 from repro.workloads.trees import TREE_NODE_TYPE_ID, build_complete_tree
 
@@ -89,3 +93,56 @@ class TestViolationsDetected:
         state.cache.table.remove(entry)
         with pytest.raises(InvariantViolation):
             validate_session(pair.b, state)
+
+
+class TestStructuredDiagnostics:
+    def test_clean_session_yields_no_diagnostics(self, active):
+        pair, state = active
+        assert session_diagnostics(pair.b, state) == []
+
+    def test_violation_reported_under_rule_code(self, active):
+        pair, state = active
+        dirty_page = next(iter(state.cache.dirty_pages))
+        pair.b.space.protect(dirty_page, Protection.READ)
+        findings = session_diagnostics(pair.b, state)
+        assert [d.code for d in findings] == ["SRPC203"]
+        assert findings[0].data["page"] == dirty_page
+
+    def test_all_violations_collected_not_just_first(self, active):
+        pair, state = active
+        # Break two independent invariants at once.
+        dirty_page = next(iter(state.cache.dirty_pages))
+        pair.b.space.protect(dirty_page, Protection.READ)
+        entry = next(iter(state.cache.table))
+        state.relayed_dirty.add(entry)
+        state.cache.table.remove(entry)
+        findings = session_diagnostics(pair.b, state)
+        assert {d.code for d in findings} >= {"SRPC203", "SRPC206"}
+
+    def test_raised_violation_carries_diagnostics(self, active):
+        pair, state = active
+        dirty_page = next(iter(state.cache.dirty_pages))
+        pair.b.space.protect(dirty_page, Protection.READ)
+        with pytest.raises(InvariantViolation) as excinfo:
+            validate_session(pair.b, state)
+        assert excinfo.value.diagnostics
+        assert excinfo.value.diagnostics[0].code == "SRPC203"
+
+    def test_feeds_external_collector(self, active):
+        from repro.analysis.diagnostics import DiagnosticCollector
+
+        pair, state = active
+        dirty_page = next(iter(state.cache.dirty_pages))
+        pair.b.space.protect(dirty_page, Protection.READ)
+        collector = DiagnosticCollector()
+        returned = session_diagnostics(pair.b, state, collector)
+        assert collector.diagnostics == returned
+
+    def test_suppression_applies_to_session_rules(self, active):
+        from repro.analysis.diagnostics import DiagnosticCollector
+
+        pair, state = active
+        dirty_page = next(iter(state.cache.dirty_pages))
+        pair.b.space.protect(dirty_page, Protection.READ)
+        collector = DiagnosticCollector(suppress=["SRPC203"])
+        assert session_diagnostics(pair.b, state, collector) == []

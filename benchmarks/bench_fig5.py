@@ -21,10 +21,12 @@ RATIOS = [0.2, 0.6, 1.0]
 
 @pytest.mark.parametrize("ratio", RATIOS)
 @pytest.mark.parametrize("method", [FULLY_LAZY, PROPOSED])
-def test_fig5_callbacks(benchmark, method, ratio):
+def test_fig5_callbacks(benchmark, method, ratio, transport_mode):
     def run():
-        world = make_world(method, closure_size=FIG4_CLOSURE)
-        return run_tree_call(world, FIG4_NODES, "search", ratio=ratio)
+        with make_world(
+            method, closure_size=FIG4_CLOSURE, transport=transport_mode
+        ) as world:
+            return run_tree_call(world, FIG4_NODES, "search", ratio=ratio)
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["callbacks"] = run_result.callbacks

@@ -19,12 +19,14 @@ CLOSURE_SIZES = [0, 2048, 4096, 8192, 16384, 32768, 49152]
 
 @pytest.mark.parametrize("closure_size", CLOSURE_SIZES)
 @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
-def test_fig6_closure_sweep(benchmark, num_nodes, closure_size):
+def test_fig6_closure_sweep(benchmark, num_nodes, closure_size, transport_mode):
     def run():
-        world = make_world(PROPOSED, closure_size=closure_size)
-        return run_tree_call(
-            world, num_nodes, "search_repeat", repeats=FIG6_REPEATS
-        )
+        with make_world(
+            PROPOSED, closure_size=closure_size, transport=transport_mode
+        ) as world:
+            return run_tree_call(
+                world, num_nodes, "search_repeat", repeats=FIG6_REPEATS
+            )
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["sim_seconds"] = round(run_result.seconds, 4)

@@ -17,10 +17,12 @@ RATIOS = [0.2, 0.4, 0.6, 0.8, 1.0]
 
 @pytest.mark.parametrize("ratio", RATIOS)
 @pytest.mark.parametrize("procedure", ["search", "search_update"])
-def test_fig7_update(benchmark, procedure, ratio):
+def test_fig7_update(benchmark, procedure, ratio, transport_mode):
     def run():
-        world = make_world(PROPOSED, closure_size=FIG4_CLOSURE)
-        return run_tree_call(world, FIG4_NODES, procedure, ratio=ratio)
+        with make_world(
+            PROPOSED, closure_size=FIG4_CLOSURE, transport=transport_mode
+        ) as world:
+            return run_tree_call(world, FIG4_NODES, procedure, ratio=ratio)
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["sim_seconds"] = round(run_result.seconds, 4)

@@ -6,13 +6,36 @@ counts, which each benchmark records here.  A terminal-summary hook
 prints the reproduced series after the benchmark table, so a plain
 ``pytest benchmarks/ --benchmark-only`` leaves the reproduction visible
 in its output.
+
+``--transport`` selects what the worlds run over: ``simnet`` (default,
+deterministic modeled seconds), ``tcp`` (real localhost sockets, wall
+seconds), or ``both`` — which parametrizes every benchmark over the
+two so their rows land side by side in the pytest-benchmark JSON.
 """
 
 from __future__ import annotations
 
 from typing import List
 
+from repro.bench.harness import SIMNET, TRANSPORTS
+
 _SIM_RESULTS: List[str] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--transport",
+        choices=(*TRANSPORTS, "both"),
+        default=SIMNET,
+        help="run benchmark worlds over simnet, tcp, or both",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "transport_mode" in metafunc.fixturenames:
+        choice = metafunc.config.getoption("--transport")
+        modes = list(TRANSPORTS) if choice == "both" else [choice]
+        metafunc.parametrize("transport_mode", modes)
 
 
 def record_sim_result(line: str) -> None:

@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.memory.address_space import AddressSpace
 from repro.namesvc.client import TypeResolver
-from repro.simnet.network import Network, Site
+from repro.transport.base import Endpoint, Transport
 from repro.smartrpc.cache import ISOLATED
 from repro.smartrpc.runtime import SmartRpcRuntime
 from repro.xdr.arch import Architecture
@@ -36,8 +36,8 @@ class FullyLazyRpc(SmartRpcRuntime):
 
     def __init__(
         self,
-        network: Network,
-        site: Site,
+        network: Transport,
+        site: Endpoint,
         arch: Architecture,
         resolver: Optional[TypeResolver] = None,
         space: Optional[AddressSpace] = None,

@@ -1,16 +1,28 @@
 """World construction and single-run experiment drivers.
 
-A *world* is one simulated deployment: a network, a type name server,
-a caller site "A" holding the data, and a callee site "B" running the
-remote procedures — the paper's two-SPARCstation setup.  Each
-measurement builds a fresh world so runs are independent and
-deterministic.
+A *world* is one deployment: a transport, a type name server, a caller
+site "A" holding the data, and a callee site "B" running the remote
+procedures — the paper's two-SPARCstation setup.  Each measurement
+builds a fresh world so runs are independent and deterministic.
+
+Worlds come in two transports (``transport=`` of :func:`make_world`):
+
+* ``simnet`` — the deterministic in-process simulator; ``seconds``
+  are modeled time under the calibrated cost model (the paper's
+  figures);
+* ``tcp`` — three :class:`~repro.transport.tcp.TcpTransport` stacks
+  exchanging framed messages over real localhost sockets; ``seconds``
+  are genuine wall time.  Message/byte/fault counters are identical
+  across the two, which the equivalence property test pins down.
+
+TCP worlds own OS resources (ports, threads); use them as context
+managers or call :meth:`World.close`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.baselines.eager import FullyEagerRpc
 from repro.baselines.lazy import FullyLazyRpc
@@ -24,6 +36,8 @@ from repro.simnet.stats import StatsCollector
 from repro.smartrpc.cache import SINGLE_HOME
 from repro.smartrpc.closure import BREADTH_FIRST
 from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.transport.base import Endpoint, RetryPolicy, Transport
+from repro.transport.tcp import TcpTransport
 from repro.workloads.hashtable import bind_hash_server, register_hash_types
 from repro.workloads.linked_list import bind_list_server, register_list_types
 from repro.workloads.traversal import (
@@ -47,33 +61,50 @@ CALLER = "A"
 CALLEE = "B"
 NAME_SERVER = "NS"
 
+SIMNET = "simnet"
+TCP = "tcp"
+TRANSPORTS = (SIMNET, TCP)
+
 
 @dataclass
 class World:
-    """One simulated two-site deployment."""
+    """One two-site deployment (simulated or real TCP)."""
 
-    network: Network
+    network: Transport
     caller: RpcRuntime
     callee: RpcRuntime
     method: str
+    transport: str = SIMNET
+    transports: List[Transport] = field(default_factory=list)
 
     @property
     def stats(self) -> StatsCollector:
         """The shared statistics collector."""
         return self.network.stats
 
+    def close(self) -> None:
+        """Release transport resources (no-op for simnet worlds)."""
+        for transport in self.transports:
+            transport.close()
+        self.transports = []
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 def _make_runtime(
     method: str,
-    network: Network,
-    site_id: str,
+    network: Transport,
+    site: Endpoint,
     arch: Architecture,
     closure_size: int,
     allocation_strategy: str,
     closure_order: str,
     batch_memory_ops: bool,
 ) -> RpcRuntime:
-    site = network.add_site(site_id)
     resolver = TypeResolver(site, NAME_SERVER)
     if method == PROPOSED:
         return SmartRpcRuntime(
@@ -102,22 +133,59 @@ def make_world(
     callee_arch: Architecture = SPARC32,
     cost_model: Optional[CostModel] = None,
     batch_memory_ops: bool = True,
+    transport: str = SIMNET,
+    trace: bool = False,
 ) -> World:
-    """Build a fresh deployment running ``method``.
+    """Build a fresh deployment running ``method`` over ``transport``.
 
     Both sites default to the paper's SPARC architecture so node sizes
     (16 bytes) and therefore transfer volumes match the original.
     """
-    network = Network(
-        cost_model=cost_model if cost_model is not None else PAPER_COST_MODEL
-    )
-    TypeNameServer(network.add_site(NAME_SERVER), TypeRegistry())
+    model = cost_model if cost_model is not None else PAPER_COST_MODEL
+    stats = StatsCollector(trace=trace)
+    if transport == SIMNET:
+        network: Transport = Network(cost_model=model, stats=stats)
+        ns_site = network.add_site(NAME_SERVER)
+        caller_site = network.add_site(CALLER)
+        callee_site = network.add_site(CALLEE)
+        transports: List[Transport] = []
+        caller_net = callee_net = network
+    elif transport == TCP:
+        # Three real stacks on localhost sharing one stats collector
+        # and one peer table (updated in place as listeners bind).
+        # Localhost loses nothing, so a patient retry schedule keeps
+        # large eager transfers from timing out into retransmissions
+        # that would skew the message/byte counters under measurement.
+        patient = RetryPolicy(
+            timeout=5.0, backoff=2.0, max_timeout=30.0, max_attempts=4
+        )
+        peers: dict = {}
+        transports = [
+            TcpTransport(
+                site_id,
+                stats=stats,
+                cost_model=model,
+                peers=peers,
+                retry=patient,
+            )
+            for site_id in (NAME_SERVER, CALLER, CALLEE)
+        ]
+        for stack in transports:
+            peers[stack.site_id] = stack.start()
+        ns_net, caller_net, callee_net = transports
+        network = caller_net
+        ns_site = ns_net.endpoint
+        caller_site = caller_net.endpoint
+        callee_site = callee_net.endpoint
+    else:
+        raise ValueError(f"unknown transport {transport!r}")
+    TypeNameServer(ns_site, TypeRegistry())
     caller = _make_runtime(
-        method, network, CALLER, caller_arch,
+        method, caller_net, caller_site, caller_arch,
         closure_size, allocation_strategy, closure_order, batch_memory_ops,
     )
     callee = _make_runtime(
-        method, network, CALLEE, callee_arch,
+        method, callee_net, callee_site, callee_arch,
         closure_size, allocation_strategy, closure_order, batch_memory_ops,
     )
     for runtime in (caller, callee):
@@ -128,7 +196,7 @@ def make_world(
     bind_tree_server(callee)
     bind_hash_server(callee)
     bind_list_server(callee)
-    return World(network, caller, callee, method)
+    return World(network, caller, callee, method, transport, transports)
 
 
 @dataclass

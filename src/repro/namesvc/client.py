@@ -6,7 +6,7 @@ from typing import Optional
 
 from repro.namesvc.server import decode_query_reply
 from repro.simnet.message import MessageKind
-from repro.simnet.network import Site
+from repro.transport.base import Endpoint
 from repro.xdr.registry import TypeRegistry
 from repro.xdr.stream import XdrEncoder
 from repro.xdr.types import TypeSpec
@@ -24,7 +24,7 @@ class TypeResolver:
 
     def __init__(
         self,
-        site: Site,
+        site: Endpoint,
         server_site_id: Optional[str],
         local: Optional[TypeRegistry] = None,
     ) -> None:

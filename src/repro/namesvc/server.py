@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.simnet.message import Message, MessageKind
-from repro.simnet.network import Site
+from repro.transport.base import Endpoint
 from repro.xdr.errors import XdrError
 from repro.xdr.registry import TypeRegistry, encode_spec
 from repro.xdr.stream import XdrDecoder, XdrEncoder
@@ -22,7 +22,7 @@ class TypeNameServer:
     never seen.
     """
 
-    def __init__(self, site: Site, registry: TypeRegistry) -> None:
+    def __init__(self, site: Endpoint, registry: TypeRegistry) -> None:
         self.site = site
         self.registry = registry
         site.register_handler(MessageKind.TYPE_QUERY, self._handle_query)

@@ -40,7 +40,7 @@ from repro.rpc.errors import (
 from repro.rpc.interface import InterfaceDef, ProcedureDef
 from repro.rpc.session import RpcSession, SessionState
 from repro.simnet.message import Message, MessageKind
-from repro.simnet.network import Network, Site
+from repro.transport.base import Endpoint, Transport
 from repro.xdr.arch import Architecture
 from repro.xdr.raw import RawCodec
 from repro.xdr.stream import XdrDecoder, XdrEncoder
@@ -99,8 +99,8 @@ class RpcRuntime:
 
     def __init__(
         self,
-        network: Network,
-        site: Site,
+        network: Transport,
+        site: Endpoint,
         arch: Architecture,
         resolver: Optional[TypeResolver] = None,
         space: Optional[AddressSpace] = None,

@@ -34,6 +34,17 @@ class MessageKind(enum.Enum):
     MEMORY_BATCH_REPLY = "memory_batch_reply"
     TYPE_QUERY = "type_query"
     TYPE_REPLY = "type_reply"
+    # Site directory traffic (repro.namesvc.directory): how processes
+    # hosting address spaces find, monitor and release each other.
+    SITE_REGISTER = "site_register"
+    SITE_DEREGISTER = "site_deregister"
+    SITE_LOOKUP = "site_lookup"
+    SITE_HEARTBEAT = "site_heartbeat"
+    SITE_LIST = "site_list"
+    DIR_REPLY = "dir_reply"
+    # Process-host control plane (repro.transport.host).
+    SHUTDOWN = "shutdown"
+    SHUTDOWN_ACK = "shutdown_ack"
 
 
 _message_ids = itertools.count(1)

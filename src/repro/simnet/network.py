@@ -17,20 +17,36 @@ classic Birrell-Nelson machinery — timeout, retransmission, and
 at-most-once execution via a per-site duplicate cache keyed by
 exchange id, so a handler's side effects happen exactly once per
 logical send however many retransmissions it takes.
+
+:class:`Network` and :class:`Site` implement the pluggable transport
+contract in :mod:`repro.transport.base` (which was extracted from this
+module); :class:`repro.transport.tcp.TcpTransport` is the real
+inter-process implementation of the same contract.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.simnet.clock import CostModel, SimClock
 from repro.simnet.message import Message, MessageKind
 from repro.simnet.stats import StatsCollector
+from repro.transport.base import (
+    Endpoint,
+    Handler,
+    Transport,
+    TransportError as _BaseTransportError,
+)
 
-Handler = Callable[[Message], bytes]
+__all__ = [
+    "Handler",
+    "Network",
+    "NetworkError",
+    "Site",
+    "TransportError",
+]
 
 _MAX_ATTEMPTS = 24
 _REPLY_CACHE_LIMIT = 4096
@@ -41,11 +57,11 @@ class NetworkError(Exception):
     """Raised for malformed network usage (unknown site, no handler)."""
 
 
-class TransportError(NetworkError):
+class TransportError(NetworkError, _BaseTransportError):
     """An exchange failed even after every retransmission."""
 
 
-class Site:
+class Site(Endpoint):
     """One endpoint (machine + process) on the simulated network.
 
     A site is identified by its ``site_id`` string — the paper's
@@ -53,40 +69,16 @@ class Site:
     and a process ID)".  Runtimes register one handler per message kind.
     """
 
-    def __init__(self, site_id: str, network: "Network") -> None:
-        self.site_id = site_id
+    no_handler_error = NetworkError
+
+    def __init__(
+        self,
+        site_id: str,
+        network: "Network",
+        reply_cache_limit: int = _REPLY_CACHE_LIMIT,
+    ) -> None:
+        super().__init__(site_id, reply_cache_limit=reply_cache_limit)
         self.network = network
-        self._handlers: Dict[MessageKind, Handler] = {}
-        self._reply_cache: "OrderedDict[int, bytes]" = OrderedDict()
-
-    def register_handler(self, kind: MessageKind, handler: Handler) -> None:
-        """Install ``handler`` for incoming messages of ``kind``."""
-        self._handlers[kind] = handler
-
-    def handle(self, message: Message) -> bytes:
-        """Dispatch an incoming message to its registered handler."""
-        handler = self._handlers.get(message.kind)
-        if handler is None:
-            raise NetworkError(
-                f"site {self.site_id!r} has no handler for {message.kind}"
-            )
-        return handler(message)
-
-    def handle_at_most_once(self, exchange_id: int, message: Message) -> bytes:
-        """Dispatch, executing the handler at most once per exchange.
-
-        A retransmitted request (same exchange id) returns the cached
-        reply without re-running the handler — the receiver half of
-        at-most-once RPC semantics.
-        """
-        cached = self._reply_cache.get(exchange_id)
-        if cached is not None:
-            return cached
-        reply = self.handle(message)
-        self._reply_cache[exchange_id] = reply
-        while len(self._reply_cache) > _REPLY_CACHE_LIMIT:
-            self._reply_cache.popitem(last=False)
-        return reply
 
     def send(
         self,
@@ -102,7 +94,7 @@ class Site:
         return f"Site({self.site_id!r})"
 
 
-class Network:
+class Network(Transport):
     """A deterministic point-to-point network with a shared cost model."""
 
     def __init__(
@@ -113,14 +105,14 @@ class Network:
         loss_rate: float = 0.0,
         loss_seed: int = 0,
         retransmit_timeout: float = 2e-3,
+        reply_cache_limit: int = _REPLY_CACHE_LIMIT,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"bad loss rate {loss_rate!r}")
-        self.clock = clock if clock is not None else SimClock()
-        self.cost_model = cost_model if cost_model is not None else CostModel()
-        self.stats = stats if stats is not None else StatsCollector()
+        super().__init__(clock=clock, cost_model=cost_model, stats=stats)
         self.loss_rate = loss_rate
         self.retransmit_timeout = retransmit_timeout
+        self.reply_cache_limit = reply_cache_limit
         self._rng = random.Random(loss_seed)
         self._sites: Dict[str, Site] = {}
 
@@ -128,7 +120,7 @@ class Network:
         """Create and register a new endpoint."""
         if site_id in self._sites:
             raise NetworkError(f"duplicate site id {site_id!r}")
-        site = Site(site_id, self)
+        site = Site(site_id, self, reply_cache_limit=self.reply_cache_limit)
         self._sites[site_id] = site
         return site
 
@@ -227,22 +219,8 @@ class Network:
 
     def _timeout(self) -> None:
         self.clock.advance(self.retransmit_timeout)
-        self.stats.record_event(
-            self.clock.now, "timeout", "retransmitting"
-        )
+        self.note_timeout()
 
     def _charge(self, message: Message) -> None:
         self.clock.advance(self.cost_model.message_cost(message.size))
-        self.stats.record_message(message)
-        self.stats.record_event(
-            self.clock.now,
-            "message",
-            f"{message.src}->{message.dst} {message.kind.value} "
-            f"{message.size}B",
-            data={
-                "src": message.src,
-                "dst": message.dst,
-                "kind": message.kind.value,
-                "size": message.size,
-            },
-        )
+        self.note_message(message)

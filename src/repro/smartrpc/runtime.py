@@ -28,7 +28,7 @@ from repro.rpc.errors import SessionError
 from repro.rpc.runtime import RpcRuntime
 from repro.rpc.session import SessionState
 from repro.simnet.message import MessageKind
-from repro.simnet.network import Network, Site
+from repro.transport.base import Endpoint, Transport
 from repro.smartrpc import coherency, remote_heap, transfer
 from repro.smartrpc.alloc_table import AllocEntry
 from repro.smartrpc.cache import SINGLE_HOME, CacheManager
@@ -74,8 +74,8 @@ class SmartRpcRuntime(RpcRuntime):
 
     def __init__(
         self,
-        network: Network,
-        site: Site,
+        network: Transport,
+        site: Endpoint,
         arch: Architecture,
         resolver: Optional[TypeResolver] = None,
         space: Optional[AddressSpace] = None,

@@ -1,0 +1,254 @@
+"""Length-prefixed binary framing for the TCP transport.
+
+Every frame on the wire is a 4-byte big-endian body length followed by
+the body; the body is a frame-type word followed by XDR-encoded fields
+(the same :mod:`repro.xdr` stream codec the RPC payloads use, so the
+whole wire format has one encoding discipline).
+
+Frame vocabulary::
+
+    HELLO    client -> server  protocol version + sender site id
+    WELCOME  server -> client  accepted version + server site id
+    GOODBYE  either direction  refusal / orderly close, with reason
+    REQUEST  client -> server  one exchange: id, src, dst, kind, body
+    REPLY    server -> client  exchange id, status, body
+    PING     client -> server  liveness probe (token)
+    PONG     server -> client  liveness echo (token)
+
+The handshake is versioned: a connection opens with ``HELLO``; the
+server answers ``WELCOME`` when it speaks that version and ``GOODBYE``
+(then closes) when it does not, so incompatible peers fail loudly at
+connect time instead of corrupting exchanges.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.transport.base import TransportError
+from repro.xdr.errors import XdrError
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+
+#: Current wire protocol version, sent in every HELLO/WELCOME.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame body; guards against garbage length words.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Wire size of the length prefix.
+LENGTH_PREFIX = struct.Struct("!I")
+
+#: Reply status codes.
+STATUS_OK = 0
+STATUS_HANDLER_ERROR = 1
+
+
+class FramingError(TransportError):
+    """A frame could not be encoded or decoded."""
+
+
+class FrameType(enum.IntEnum):
+    """The 1-byte discriminator opening every frame body."""
+
+    HELLO = 1
+    WELCOME = 2
+    GOODBYE = 3
+    REQUEST = 4
+    REPLY = 5
+    PING = 6
+    PONG = 7
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Connection opener: who is calling and which protocol they speak."""
+
+    version: int
+    site_id: str
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Handshake acceptance: the version in force and the server's id."""
+
+    version: int
+    site_id: str
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Refusal or orderly close, with a human-readable reason."""
+
+    site_id: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class Request:
+    """One exchange request.
+
+    ``exchange_id`` is unique per sending site; the receiver's
+    duplicate suppression keys on ``(src, exchange_id)``, so a
+    retransmitted request (same id) never re-runs the handler.
+    """
+
+    exchange_id: int
+    src: str
+    dst: str
+    kind: str
+    expects_reply: bool
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Reply:
+    """The response to one exchange, matched by ``exchange_id``."""
+
+    exchange_id: int
+    status: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Transport-level liveness probe."""
+
+    token: int
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Echo of one :class:`Ping`'s token."""
+
+    token: int
+
+
+Frame = Union[Hello, Welcome, Goodbye, Request, Reply, Ping, Pong]
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize ``frame`` as length prefix + body."""
+    encoder = XdrEncoder()
+    if isinstance(frame, Hello):
+        encoder.pack_uint32(FrameType.HELLO)
+        encoder.pack_uint32(frame.version)
+        encoder.pack_string(frame.site_id)
+    elif isinstance(frame, Welcome):
+        encoder.pack_uint32(FrameType.WELCOME)
+        encoder.pack_uint32(frame.version)
+        encoder.pack_string(frame.site_id)
+    elif isinstance(frame, Goodbye):
+        encoder.pack_uint32(FrameType.GOODBYE)
+        encoder.pack_string(frame.site_id)
+        encoder.pack_string(frame.reason)
+    elif isinstance(frame, Request):
+        encoder.pack_uint32(FrameType.REQUEST)
+        encoder.pack_uint64(frame.exchange_id)
+        encoder.pack_string(frame.src)
+        encoder.pack_string(frame.dst)
+        encoder.pack_string(frame.kind)
+        encoder.pack_bool(frame.expects_reply)
+        encoder.pack_opaque(frame.payload)
+    elif isinstance(frame, Reply):
+        encoder.pack_uint32(FrameType.REPLY)
+        encoder.pack_uint64(frame.exchange_id)
+        encoder.pack_uint32(frame.status)
+        encoder.pack_opaque(frame.payload)
+    elif isinstance(frame, Ping):
+        encoder.pack_uint32(FrameType.PING)
+        encoder.pack_uint64(frame.token)
+    elif isinstance(frame, Pong):
+        encoder.pack_uint32(FrameType.PONG)
+        encoder.pack_uint64(frame.token)
+    else:
+        raise FramingError(f"cannot encode frame {frame!r}")
+    body = encoder.getvalue()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return LENGTH_PREFIX.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Frame:
+    """Parse one frame body (the bytes after the length prefix)."""
+    decoder = XdrDecoder(body)
+    try:
+        raw_type = decoder.unpack_uint32()
+        try:
+            frame_type = FrameType(raw_type)
+        except ValueError:
+            raise FramingError(f"unknown frame type {raw_type!r}") from None
+        if frame_type is FrameType.HELLO:
+            frame: Frame = Hello(
+                version=decoder.unpack_uint32(),
+                site_id=decoder.unpack_string(),
+            )
+        elif frame_type is FrameType.WELCOME:
+            frame = Welcome(
+                version=decoder.unpack_uint32(),
+                site_id=decoder.unpack_string(),
+            )
+        elif frame_type is FrameType.GOODBYE:
+            frame = Goodbye(
+                site_id=decoder.unpack_string(),
+                reason=decoder.unpack_string(),
+            )
+        elif frame_type is FrameType.REQUEST:
+            frame = Request(
+                exchange_id=decoder.unpack_uint64(),
+                src=decoder.unpack_string(),
+                dst=decoder.unpack_string(),
+                kind=decoder.unpack_string(),
+                expects_reply=decoder.unpack_bool(),
+                payload=decoder.unpack_opaque(),
+            )
+        elif frame_type is FrameType.REPLY:
+            frame = Reply(
+                exchange_id=decoder.unpack_uint64(),
+                status=decoder.unpack_uint32(),
+                payload=decoder.unpack_opaque(),
+            )
+        elif frame_type is FrameType.PING:
+            frame = Ping(token=decoder.unpack_uint64())
+        else:
+            frame = Pong(token=decoder.unpack_uint64())
+        decoder.expect_done()
+    except XdrError as exc:
+        raise FramingError(f"malformed frame body: {exc}") from None
+    return frame
+
+
+def split_buffer(buffer: bytes) -> Tuple[Union[Frame, None], bytes]:
+    """Parse one frame off the front of ``buffer`` if complete.
+
+    Returns ``(frame, rest)``; ``frame`` is ``None`` while the buffer
+    holds less than one whole frame.  Used by tests and any sans-I/O
+    consumer; the asyncio transport reads frames directly off its
+    stream with :func:`frame_length`.
+    """
+    if len(buffer) < LENGTH_PREFIX.size:
+        return None, buffer
+    (length,) = LENGTH_PREFIX.unpack_from(buffer)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    end = LENGTH_PREFIX.size + length
+    if len(buffer) < end:
+        return None, buffer
+    return decode_frame(buffer[LENGTH_PREFIX.size : end]), buffer[end:]
+
+
+def frame_length(prefix: bytes) -> int:
+    """Decode and bounds-check one 4-byte length prefix."""
+    (length,) = LENGTH_PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FramingError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length

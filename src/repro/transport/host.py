@@ -1,0 +1,346 @@
+"""Process hosts: one address space per OS process.
+
+``python -m repro.transport serve`` runs one of these.  A *space host*
+owns a full smart-RPC address space — runtime, heap, allocation table,
+bound workload servers — attached to a :class:`TcpTransport`, and
+registers itself with the site directory so peers can find it.  A
+*registry host* (``--serve-registry``) instead hosts the shared name
+services every deployment needs exactly once: the
+:class:`~repro.namesvc.directory.SiteDirectory` and the
+:class:`~repro.namesvc.server.TypeNameServer`.
+
+The host prints one ``READY site=<id> addr=<host>:<port>`` line to
+stdout once it is serving — spawners wait for that line — then blocks
+until a signal (SIGINT/SIGTERM) or a ``SHUTDOWN`` control message
+arrives.  While blocked it heartbeats the directory so liveness
+information stays fresh.  On the way out it deregisters, dumps its
+recorded trace (``--trace``) and closes the transport.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+from typing import Optional, Tuple
+
+from repro.baselines.eager import FullyEagerRpc
+from repro.baselines.lazy import FullyLazyRpc
+from repro.namesvc.client import TypeResolver
+from repro.namesvc.directory import DirectoryClient, SiteDirectory
+from repro.namesvc.server import TypeNameServer
+from repro.rpc.runtime import RpcRuntime
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.stats import StatsCollector
+from repro.simnet.tracefmt import save_trace
+from repro.transport.base import RetryPolicy, TransportError
+from repro.transport.tcp import FaultInjector, TcpTransport
+from repro.workloads.hashtable import bind_hash_server, register_hash_types
+from repro.workloads.linked_list import bind_list_server, register_list_types
+from repro.workloads.traversal import (
+    TREE_EXPOSE,
+    TREE_OPS,
+    bind_tree_expose,
+    bind_tree_server,
+)
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    register_tree_types,
+    tree_node_spec,
+)
+from repro.xdr.arch import SPARC32, Architecture
+from repro.xdr.registry import TypeRegistry
+
+#: Default site id of the registry host (directory + type name server).
+REGISTRY_SITE = "NS"
+
+#: Seconds between directory heartbeats while a space host is serving.
+HEARTBEAT_INTERVAL = 2.0
+
+#: Grace period after a shutdown trigger so in-flight replies (the
+#: SHUTDOWN_ACK itself) drain before the transport closes.
+_DRAIN_SECONDS = 0.2
+
+PROPOSED = "proposed"
+FULLY_EAGER = "eager"
+FULLY_LAZY = "lazy"
+METHODS = (FULLY_EAGER, FULLY_LAZY, PROPOSED)
+
+
+def make_space(
+    site_id: str,
+    method: str = PROPOSED,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    registry: Optional[Tuple[str, int]] = None,
+    registry_site: str = REGISTRY_SITE,
+    arch: Architecture = SPARC32,
+    stats: Optional[StatsCollector] = None,
+    clock=None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    listen: bool = True,
+    closure_size: int = 8192,
+    expose_tree: int = 0,
+) -> Tuple[TcpTransport, RpcRuntime]:
+    """Build one TCP-attached address space: transport plus runtime.
+
+    The runtime mirrors what :func:`repro.bench.harness.make_world`
+    builds per site — workload types registered, tree interface
+    imported, workload servers bound — so a space host can play caller
+    or callee for any existing experiment.  The transport is started;
+    directory registration is the caller's business (spawned hosts
+    register, in-process test transports often use static peers).
+    """
+    peers = {registry_site: registry} if registry is not None else None
+    transport = TcpTransport(
+        site_id,
+        host,
+        port,
+        stats=stats,
+        clock=clock,
+        peers=peers,
+        directory_site=registry_site if registry is not None else None,
+        retry=retry,
+        faults=faults,
+        listen=listen,
+    )
+    transport.start()
+    resolver = TypeResolver(
+        transport.endpoint,
+        registry_site if registry is not None else None,
+    )
+    if method == PROPOSED:
+        from repro.smartrpc.runtime import SmartRpcRuntime
+
+        runtime: RpcRuntime = SmartRpcRuntime(
+            transport,
+            transport.endpoint,
+            arch,
+            resolver=resolver,
+            closure_size=closure_size,
+        )
+    elif method == FULLY_EAGER:
+        runtime = FullyEagerRpc(
+            transport, transport.endpoint, arch, resolver=resolver
+        )
+    elif method == FULLY_LAZY:
+        runtime = FullyLazyRpc(
+            transport, transport.endpoint, arch, resolver=resolver
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    register_tree_types(runtime)
+    register_hash_types(runtime)
+    register_list_types(runtime)
+    runtime.import_interface(TREE_OPS)
+    runtime.import_interface(TREE_EXPOSE)
+    bind_tree_server(runtime)
+    bind_hash_server(runtime)
+    bind_list_server(runtime)
+    if expose_tree:
+        # This space homes a tree of its own and hands out the root
+        # pointer, so remote grounds can dereference, modify and — at
+        # session end — write back into this process's heap.
+        bind_tree_expose(runtime, build_complete_tree(runtime, expose_tree))
+    return transport, runtime
+
+
+class ProcessHost:
+    """One serving OS process: an address space or the registry."""
+
+    def __init__(
+        self,
+        site_id: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[Tuple[str, int]] = None,
+        registry_site: str = REGISTRY_SITE,
+        serve_registry: bool = False,
+        method: str = PROPOSED,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        trace_path: Optional[str] = None,
+        faults: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        expose_tree: int = 0,
+    ) -> None:
+        if not serve_registry and registry is None:
+            raise TransportError(
+                "a space host needs --registry HOST:PORT to find peers"
+            )
+        self.site_id = site_id
+        self.serve_registry = serve_registry
+        self.heartbeat_interval = heartbeat_interval
+        self.trace_path = trace_path
+        self._stop = threading.Event()
+        self._stats = StatsCollector(trace=trace_path is not None)
+        self.runtime: Optional[RpcRuntime] = None
+        self.directory: Optional[SiteDirectory] = None
+        self._directory_client: Optional[DirectoryClient] = None
+        if serve_registry:
+            self.transport = TcpTransport(
+                site_id, host, port, stats=self._stats, retry=retry
+            )
+            self.transport.start()
+            self.directory = SiteDirectory(self.transport.endpoint)
+            registry_types = TypeRegistry()
+            server = TypeNameServer(self.transport.endpoint, registry_types)
+            # Publish the standard workload types so spaces may resolve
+            # them over the wire instead of registering locally.
+            server.publish(TREE_NODE_TYPE_ID, tree_node_spec())
+        else:
+            self.transport, self.runtime = make_space(
+                site_id,
+                method,
+                host=host,
+                port=port,
+                registry=registry,
+                registry_site=registry_site,
+                stats=self._stats,
+                retry=retry,
+                faults=faults,
+                expose_tree=expose_tree,
+            )
+            self._directory_client = DirectoryClient(
+                self.transport.endpoint, registry_site
+            )
+        self.transport.endpoint.register_handler(
+            MessageKind.SHUTDOWN, self._handle_shutdown
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound listening address."""
+        assert self.transport.address is not None
+        return self.transport.address
+
+    def _handle_shutdown(self, message: Message) -> bytes:
+        self._stop.set()
+        return b""
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to exit (signal handlers land here)."""
+        self._stop.set()
+
+    def serve_forever(self) -> None:
+        """Register, announce readiness, heartbeat until told to stop."""
+        if self._directory_client is not None:
+            bound_host, bound_port = self.address
+            self._directory_client.register(bound_host, bound_port)
+        bound_host, bound_port = self.address
+        print(
+            f"READY site={self.site_id} addr={bound_host}:{bound_port}",
+            flush=True,
+        )
+        try:
+            while not self._stop.wait(self.heartbeat_interval):
+                if self._directory_client is not None:
+                    try:
+                        self._directory_client.heartbeat()
+                    except TransportError:
+                        # A dead registry should not kill a serving
+                        # space; peers holding our address still work.
+                        pass
+        finally:
+            time.sleep(_DRAIN_SECONDS)
+            self.close()
+
+    def close(self) -> None:
+        """Deregister, dump the trace, release the transport."""
+        if self._directory_client is not None:
+            try:
+                self._directory_client.deregister()
+            except TransportError:
+                pass
+            self._directory_client = None
+        if self.trace_path is not None:
+            save_trace(self._stats, self.trace_path)
+            self.trace_path = None
+        self.transport.close()
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI argument."""
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad address {text!r} (expected HOST:PORT)")
+    return host, int(port)
+
+
+def run_serve(args) -> int:
+    """Entry point for ``python -m repro.transport serve``."""
+    registry = (
+        parse_address(args.registry) if args.registry is not None else None
+    )
+    faults = (
+        FaultInjector.parse(args.fault) if args.fault is not None else None
+    )
+    host = ProcessHost(
+        args.site,
+        host=args.host,
+        port=args.port,
+        registry=registry,
+        registry_site=args.registry_site,
+        serve_registry=args.serve_registry,
+        method=args.method,
+        heartbeat_interval=args.heartbeat,
+        trace_path=args.trace,
+        faults=faults,
+        expose_tree=args.expose_tree,
+    )
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: host.request_stop())
+    host.serve_forever()
+    return 0
+
+
+def run_ping(args) -> int:
+    """Entry point for ``python -m repro.transport ping``."""
+    registry = parse_address(args.registry)
+    transport = TcpTransport(
+        f"_ping-{os.getpid()}",
+        listen=False,
+        peers={args.registry_site: registry},
+        directory_site=args.registry_site,
+    )
+    transport.start()
+    try:
+        rtt = transport.ping(args.site, timeout=args.timeout)
+        print(f"{args.site}: {rtt * 1000:.3f} ms")
+        return 0
+    except TransportError as exc:
+        print(f"ping failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        transport.close()
+
+
+def run_shutdown(args) -> int:
+    """Entry point for ``python -m repro.transport shutdown``."""
+    registry = parse_address(args.registry)
+    transport = TcpTransport(
+        f"_control-{os.getpid()}",
+        listen=False,
+        peers={args.registry_site: registry},
+        directory_site=args.registry_site,
+    )
+    transport.start()
+    try:
+        transport.endpoint.send(
+            args.site,
+            MessageKind.SHUTDOWN,
+            b"",
+            reply_kind=MessageKind.SHUTDOWN_ACK,
+        )
+        print(f"{args.site}: shutting down")
+        return 0
+    except TransportError as exc:
+        print(f"shutdown failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        transport.close()

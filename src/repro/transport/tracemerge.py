@@ -1,0 +1,68 @@
+"""Merging per-process trace logs into one timeline.
+
+Each process host records its own trace (``serve --trace``): the
+messages it initiated and the runtime events of its address space.
+Offline analysis wants one file.  Because every
+:class:`~repro.transport.wallclock.WallClock` reads the same epoch
+time, timestamps from different processes are directly comparable;
+the merge is a *stable* sort on time, so events from one process that
+share a timestamp keep their recorded order — which is what the
+per-process conformance rules (:mod:`repro.analysis.trace_rules`)
+depend on.
+
+Each merged event is annotated with ``data["proc"]`` naming its source
+log, so interleavings stay attributable after the merge.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.simnet.stats import TraceEvent
+from repro.simnet.tracefmt import load_trace, save_trace
+
+
+def annotate(events: Iterable[TraceEvent], proc: str) -> List[TraceEvent]:
+    """Tag each event with the process (trace file) it came from."""
+    tagged = []
+    for event in events:
+        data = dict(event.data) if event.data is not None else {}
+        data.setdefault("proc", proc)
+        tagged.append(
+            TraceEvent(
+                time=event.time,
+                category=event.category,
+                detail=event.detail,
+                data=data,
+            )
+        )
+    return tagged
+
+
+def merge_events(
+    streams: Sequence[List[TraceEvent]],
+) -> List[TraceEvent]:
+    """Stable time-ordered merge of several per-process event lists."""
+    merged: List[TraceEvent] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda event: event.time)  # stable: ties keep order
+    return merged
+
+
+def merge_trace_files(paths: Sequence, out_path) -> int:
+    """Merge trace logs at ``paths`` into ``out_path``; event count."""
+    streams = [
+        annotate(load_trace(path), Path(path).stem) for path in paths
+    ]
+    merged = merge_events(streams)
+    save_trace(merged, out_path)
+    return len(merged)
+
+
+def run_merge(args) -> int:
+    """Entry point for ``python -m repro.transport merge-traces``."""
+    count = merge_trace_files(args.traces, args.out)
+    print(f"merged {len(args.traces)} trace(s), {count} events -> {args.out}")
+    return 0

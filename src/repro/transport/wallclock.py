@@ -1,0 +1,40 @@
+"""Wall-clock time for real transports.
+
+The simulator's :class:`~repro.simnet.clock.SimClock` advances only
+when a runtime charges it.  Under a real transport time passes by
+itself, so :class:`WallClock` reads the operating system clock and
+turns ``advance`` into pure cost *accounting*: the modelled charges
+still accumulate (in :attr:`charged`) for anyone comparing modelled
+against measured time, but they no longer move ``now``.
+
+``now`` is epoch-based (``time.time``) rather than per-process
+monotonic so that trace events recorded by different OS processes on
+the same machine merge into one causally ordered timeline — see
+:mod:`repro.transport.tracemerge`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Drop-in for :class:`~repro.simnet.clock.SimClock` on real time."""
+
+    def __init__(self) -> None:
+        self.charged = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current wall time in epoch seconds."""
+        return time.time()
+
+    def advance(self, seconds: float) -> None:
+        """Account a modelled charge; real time advances on its own."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        self.charged += seconds
+
+    def reset(self) -> None:
+        """Zero the accumulated modelled charges."""
+        self.charged = 0.0

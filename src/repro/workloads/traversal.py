@@ -22,7 +22,7 @@ from typing import Dict
 from repro.rpc.interface import InterfaceDef, Param, ProcedureDef
 from repro.rpc.runtime import CallContext, RpcRuntime
 from repro.rpc.stubgen import ClientStub, bind_server
-from repro.workloads.trees import TREE_NODE_TYPE_ID
+from repro.workloads.trees import TREE_NODE_TYPE_ID, local_tree_checksum
 from repro.xdr.types import PointerType, int32, int64
 
 TREE_OPS = InterfaceDef(
@@ -154,6 +154,48 @@ def bind_tree_server(runtime: RpcRuntime) -> None:
 def tree_client(runtime: RpcRuntime, dst: str) -> ClientStub:
     """A caller-side stub for the tree procedures."""
     return ClientStub(runtime, TREE_OPS, dst)
+
+
+TREE_EXPOSE = InterfaceDef(
+    "tree_expose",
+    [
+        ProcedureDef(
+            "tree_root", [], returns=PointerType(TREE_NODE_TYPE_ID)
+        ),
+        ProcedureDef("tree_checksum", [], returns=int64),
+    ],
+)
+"""A server exposing a tree *it* homes, by returning its root pointer.
+
+This inverts the usual experiment (caller-homed data walked by the
+callee): here the caller receives a remote pointer into the callee's
+space and may dereference — and modify — the callee's data directly.
+A modifying caller exercises the session-end WRITE_BACK path, since
+at close time the ground holds dirty data whose home is the callee.
+``tree_checksum`` reads the tree in its home space, so a later call
+observes whether written-back updates really landed (and landed once).
+"""
+
+
+def bind_tree_expose(runtime: RpcRuntime, root: int) -> None:
+    """Serve ``TREE_EXPOSE`` for the tree rooted at ``root``."""
+
+    def tree_root(ctx: CallContext) -> int:
+        return root
+
+    def tree_checksum(ctx: CallContext) -> int:
+        return local_tree_checksum(runtime, root)
+
+    bind_server(
+        runtime,
+        TREE_EXPOSE,
+        {"tree_root": tree_root, "tree_checksum": tree_checksum},
+    )
+
+
+def tree_expose_client(runtime: RpcRuntime, dst: str) -> ClientStub:
+    """A caller-side stub for the exposed-tree procedures."""
+    return ClientStub(runtime, TREE_EXPOSE, dst)
 
 
 def expected_search_checksum(target_nodes: int, total_nodes: int) -> int:

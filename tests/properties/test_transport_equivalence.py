@@ -1,0 +1,113 @@
+"""Transport equivalence: simnet and TCP runs are indistinguishable.
+
+The transport is a carrier, not a participant: for any seeded session
+the smart-RPC layer must produce byte-identical results and identical
+protocol counters whether the frames cross a simulated network or real
+localhost sockets.  Each example runs the same workload through
+``make_world`` twice — once per transport — and diffs everything but
+wall-clock time (simulated seconds and real seconds legitimately
+differ).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import (
+    CALLEE,
+    METHODS,
+    PROPOSED,
+    SIMNET,
+    TCP,
+    make_world,
+    run_tree_call,
+)
+from repro.workloads.linked_list import (
+    LIST_OPS,
+    build_list,
+    list_client,
+    read_list,
+)
+
+#: ExperimentRun fields that must match across transports — all of
+#: them except ``seconds`` (modeled time vs. measured wall time).
+COMPARED_FIELDS = (
+    "method",
+    "callbacks",
+    "messages",
+    "bytes_moved",
+    "page_faults",
+    "write_faults",
+    "entries",
+    "result",
+)
+
+depths = st.integers(min_value=0, max_value=4)
+ratios = st.sampled_from([0.1, 0.5, 1.0])
+procedures = st.sampled_from(["search", "search_update"])
+methods = st.sampled_from(METHODS)
+
+
+def _tree_run(transport, method, nodes, procedure, ratio):
+    with make_world(method, transport=transport) as world:
+        return run_tree_call(world, nodes, procedure, ratio=ratio)
+
+
+class TestTreeEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(depths, ratios, procedures, methods)
+    def test_same_session_same_counters(
+        self, depth, ratio, procedure, method
+    ):
+        nodes = 2 ** (depth + 1) - 1
+        simulated = _tree_run(SIMNET, method, nodes, procedure, ratio)
+        real = _tree_run(TCP, method, nodes, procedure, ratio)
+        for name in COMPARED_FIELDS:
+            assert getattr(simulated, name) == getattr(real, name), name
+
+    @settings(max_examples=5, deadline=None)
+    @given(depths, st.integers(min_value=1, max_value=8))
+    def test_path_search_equivalent(self, depth, seed):
+        nodes = 2 ** (depth + 1) - 1
+        runs = [
+            _tree_run_path(transport, nodes, seed)
+            for transport in (SIMNET, TCP)
+        ]
+        for name in COMPARED_FIELDS:
+            assert getattr(runs[0], name) == getattr(runs[1], name), name
+
+
+def _tree_run_path(transport, nodes, seed):
+    with make_world(PROPOSED, transport=transport) as world:
+        return run_tree_call(
+            world, nodes, "path_search", repeats=3, seed=seed
+        )
+
+
+class TestMutationEquivalence:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**20), max_value=2**20),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(min_value=-8, max_value=8),
+    )
+    def test_scale_bytes_identical(self, values, factor):
+        outcomes = []
+        for transport in (SIMNET, TCP):
+            with make_world(PROPOSED, transport=transport) as world:
+                world.caller.import_interface(LIST_OPS)
+                head = build_list(world.caller, values)
+                stub = list_client(world.caller, CALLEE)
+                with world.caller.session() as session:
+                    stub.scale(session, head, factor)
+                outcomes.append(
+                    (
+                        read_list(world.caller, head),
+                        world.stats.total_messages,
+                        world.stats.total_bytes,
+                    )
+                )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] == [v * factor for v in values]

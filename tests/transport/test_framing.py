@@ -1,0 +1,95 @@
+"""Wire format: length-prefixed XDR frames round-trip exactly."""
+
+import pytest
+
+from repro.transport.framing import (
+    LENGTH_PREFIX,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    STATUS_HANDLER_ERROR,
+    STATUS_OK,
+    FramingError,
+    Goodbye,
+    Hello,
+    Ping,
+    Pong,
+    Reply,
+    Request,
+    Welcome,
+    decode_frame,
+    encode_frame,
+    frame_length,
+    split_buffer,
+)
+
+FRAMES = [
+    Hello(version=PROTOCOL_VERSION, site_id="A"),
+    Welcome(version=PROTOCOL_VERSION, site_id="B"),
+    Goodbye(site_id="B", reason="unsupported protocol version"),
+    Request(
+        exchange_id=(7 << 32) | 1,
+        src="A",
+        dst="B",
+        kind="call",
+        expects_reply=True,
+        payload=b"\x00\x01payload",
+    ),
+    Request(
+        exchange_id=2,
+        src="A",
+        dst="B",
+        kind="invalidate",
+        expects_reply=False,
+        payload=b"",
+    ),
+    Reply(exchange_id=(7 << 32) | 1, status=STATUS_OK, payload=b"ok"),
+    Reply(exchange_id=3, status=STATUS_HANDLER_ERROR, payload=b"boom"),
+    Ping(token=41),
+    Pong(token=41),
+]
+
+
+@pytest.mark.parametrize("frame", FRAMES, ids=lambda f: type(f).__name__)
+def test_round_trip(frame):
+    encoded = encode_frame(frame)
+    body_len = frame_length(encoded[: LENGTH_PREFIX.size])
+    assert len(encoded) == LENGTH_PREFIX.size + body_len
+    assert decode_frame(encoded[LENGTH_PREFIX.size :]) == frame
+
+
+def test_split_buffer_reassembles_partial_frames():
+    stream = b"".join(encode_frame(frame) for frame in FRAMES)
+    decoded = []
+    buffer = b""
+    # Feed the byte stream one octet at a time: framing must never
+    # yield a frame early and never lose bytes across the boundaries.
+    for offset in range(len(stream)):
+        buffer += stream[offset : offset + 1]
+        frame, buffer = split_buffer(buffer)
+        if frame is not None:
+            decoded.append(frame)
+    assert decoded == FRAMES
+    assert buffer == b""
+
+
+def test_oversized_length_prefix_rejected():
+    prefix = LENGTH_PREFIX.pack(MAX_FRAME_BYTES + 1)
+    with pytest.raises(FramingError):
+        frame_length(prefix)
+
+
+def test_truncated_body_rejected():
+    encoded = encode_frame(Ping(token=9))
+    with pytest.raises(FramingError):
+        decode_frame(encoded[LENGTH_PREFIX.size : -2])
+
+
+def test_trailing_garbage_rejected():
+    body = encode_frame(Ping(token=9))[LENGTH_PREFIX.size :]
+    with pytest.raises(FramingError):
+        decode_frame(body + b"\x00\x00\x00\x00")
+
+
+def test_unknown_frame_type_rejected():
+    with pytest.raises(FramingError):
+        decode_frame(b"\x00\x00\x00\x63")

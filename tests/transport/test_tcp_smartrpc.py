@@ -1,0 +1,108 @@
+"""Smart RPC sessions over real TCP, in-process.
+
+Three transport stacks (name server, caller, callee) exchange framed
+messages over localhost sockets while the smart runtime above them
+does everything it does over the simulator: swizzles long pointers,
+pulls faulted pages, piggybacks modified data, writes back and
+invalidates at session end.  The recorded trace must satisfy the same
+conformance rules (SRPC100–105) as a simulated run.
+"""
+
+import pytest
+
+from repro.analysis import trace_rules
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.bench.harness import CALLEE, PROPOSED, make_world, run_tree_call
+from repro.simnet.tracefmt import save_trace
+from repro.workloads.traversal import (
+    bind_tree_expose,
+    expected_search_checksum,
+    tree_client,
+    tree_expose_client,
+)
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    local_tree_checksum,
+)
+from repro.xdr.view import StructView
+
+NODES = 63
+EXPOSED_NODES = 7
+
+
+def _modify_remote_root(world, session, stub):
+    """Fetch the callee-homed root pointer and dirty it on the ground."""
+    pointer = stub.tree_root(session)
+    spec = world.caller.resolver.resolve(TREE_NODE_TYPE_ID)
+    view = StructView(world.caller.mem, pointer, spec, world.caller.arch)
+    view.set("data", (555).to_bytes(8, "big"))
+
+
+@pytest.fixture
+def tcp_world():
+    with make_world(PROPOSED, transport="tcp", trace=True) as world:
+        yield world
+
+
+def test_session_results_match_simnet_semantics(tcp_world):
+    run = run_tree_call(tcp_world, NODES, "search", ratio=1.0)
+    assert run.result == expected_search_checksum(NODES, NODES)
+    assert run.page_faults > 0  # data moved by fault-driven pull
+
+
+def test_update_session_piggybacks_modifications_over_tcp(tcp_world):
+    root = build_complete_tree(tcp_world.caller, NODES)
+    stub = tree_client(tcp_world.caller, CALLEE)
+    with tcp_world.caller.session() as session:
+        result = stub.search_update(session, root, NODES)
+    assert result == expected_search_checksum(NODES, NODES)
+    # The callee's updates to caller-homed data ride home piggybacked
+    # on the reply (no WRITE_BACK needed: the ground IS the home).
+    expected = expected_search_checksum(NODES, NODES) + NODES
+    assert local_tree_checksum(tcp_world.caller, root) == expected
+    assert tcp_world.stats.invalidations > 0
+
+
+def test_ground_modification_written_back_over_tcp(tcp_world):
+    """The WRITE_BACK path over real sockets: the callee homes a tree,
+    the ground dereferences its root pointer and modifies it, and
+    session end pushes the dirty data back into the callee's heap."""
+    remote_root = build_complete_tree(tcp_world.callee, EXPOSED_NODES)
+    bind_tree_expose(tcp_world.callee, remote_root)
+    stub = tree_expose_client(tcp_world.caller, CALLEE)
+    with tcp_world.caller.session() as session:
+        _modify_remote_root(tcp_world, session, stub)
+    assert tcp_world.stats.write_backs > 0
+    # The callee reads its own heap: the write-back landed, exactly
+    # once (any re-execution would have observed 555, not added to it).
+    with tcp_world.caller.session() as session:
+        checksum = stub.tree_checksum(session)
+    assert checksum == sum(range(EXPOSED_NODES)) + 555
+
+
+def test_tcp_trace_passes_conformance_rules(tcp_world, tmp_path):
+    root = build_complete_tree(tcp_world.caller, NODES)
+    remote_root = build_complete_tree(tcp_world.callee, EXPOSED_NODES)
+    bind_tree_expose(tcp_world.callee, remote_root)
+    stub = tree_client(tcp_world.caller, CALLEE)
+    expose = tree_expose_client(tcp_world.caller, CALLEE)
+    with tcp_world.caller.session() as session:
+        stub.search_update(session, root, NODES)
+        _modify_remote_root(tcp_world, session, expose)
+    categories = {event.category for event in tcp_world.stats.events}
+    # The structured event vocabulary matches the simulator's, so the
+    # offline rules read a real run exactly like a simulated one.
+    assert {
+        "message",
+        "transfer",
+        "fault",
+        "session-end",
+        "write-back",
+        "invalidate",
+    } <= categories
+    trace_path = tmp_path / "tcp-session.jsonl"
+    save_trace(tcp_world.stats, trace_path)
+    collector = DiagnosticCollector()
+    trace_rules.analyze_trace_file(trace_path, collector)
+    assert list(collector) == []

@@ -16,22 +16,38 @@ import pytest
 from conftest import record_sim_result
 
 from repro.bench.calibration import FIG4_CLOSURE, FIG4_NODES
-from repro.bench.harness import METHODS, SIMNET, make_world, run_tree_call
+from repro.bench.harness import (
+    METHODS,
+    PROPOSED,
+    SIMNET,
+    make_world,
+    run_tree_call,
+)
 
 RATIOS = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
 
 
 @pytest.mark.parametrize("ratio", RATIOS)
 @pytest.mark.parametrize("method", METHODS)
-def test_fig4_search(benchmark, method, ratio, transport_mode):
+def test_fig4_search(
+    benchmark, method, ratio, transport_mode, policy_mode, closure_order_mode
+):
+    if method == PROPOSED and policy_mode is not None:
+        method = policy_mode
+
     def run():
         with make_world(
-            method, closure_size=FIG4_CLOSURE, transport=transport_mode
+            method,
+            closure_size=FIG4_CLOSURE,
+            closure_order=closure_order_mode,
+            transport=transport_mode,
         ) as world:
             return run_tree_call(world, FIG4_NODES, "search", ratio=ratio)
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["transport"] = transport_mode
+    benchmark.extra_info["policy"] = method
+    benchmark.extra_info.update(run_result.ledger())
     benchmark.extra_info["sim_seconds"] = round(run_result.seconds, 4)
     benchmark.extra_info["callbacks"] = run_result.callbacks
     benchmark.extra_info["bytes"] = run_result.bytes_moved

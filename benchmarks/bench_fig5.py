@@ -21,14 +21,23 @@ RATIOS = [0.2, 0.6, 1.0]
 
 @pytest.mark.parametrize("ratio", RATIOS)
 @pytest.mark.parametrize("method", [FULLY_LAZY, PROPOSED])
-def test_fig5_callbacks(benchmark, method, ratio, transport_mode):
+def test_fig5_callbacks(
+    benchmark, method, ratio, transport_mode, policy_mode, closure_order_mode
+):
+    if method == PROPOSED and policy_mode is not None:
+        method = policy_mode
+
     def run():
         with make_world(
-            method, closure_size=FIG4_CLOSURE, transport=transport_mode
+            method,
+            closure_size=FIG4_CLOSURE,
+            closure_order=closure_order_mode,
+            transport=transport_mode,
         ) as world:
             return run_tree_call(world, FIG4_NODES, "search", ratio=ratio)
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["policy"] = method
     benchmark.extra_info["callbacks"] = run_result.callbacks
     if method == FULLY_LAZY:
         assert run_result.callbacks == int(round(ratio * FIG4_NODES))

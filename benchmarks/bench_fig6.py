@@ -19,16 +19,29 @@ CLOSURE_SIZES = [0, 2048, 4096, 8192, 16384, 32768, 49152]
 
 @pytest.mark.parametrize("closure_size", CLOSURE_SIZES)
 @pytest.mark.parametrize("num_nodes", NODE_COUNTS)
-def test_fig6_closure_sweep(benchmark, num_nodes, closure_size, transport_mode):
+def test_fig6_closure_sweep(
+    benchmark,
+    num_nodes,
+    closure_size,
+    transport_mode,
+    policy_mode,
+    closure_order_mode,
+):
+    method = PROPOSED if policy_mode is None else policy_mode
+
     def run():
         with make_world(
-            PROPOSED, closure_size=closure_size, transport=transport_mode
+            method,
+            closure_size=closure_size,
+            closure_order=closure_order_mode,
+            transport=transport_mode,
         ) as world:
             return run_tree_call(
                 world, num_nodes, "search_repeat", repeats=FIG6_REPEATS
             )
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["policy"] = method
     benchmark.extra_info["sim_seconds"] = round(run_result.seconds, 4)
     benchmark.extra_info["callbacks"] = run_result.callbacks
     record_sim_result(

@@ -17,14 +17,22 @@ RATIOS = [0.2, 0.4, 0.6, 0.8, 1.0]
 
 @pytest.mark.parametrize("ratio", RATIOS)
 @pytest.mark.parametrize("procedure", ["search", "search_update"])
-def test_fig7_update(benchmark, procedure, ratio, transport_mode):
+def test_fig7_update(
+    benchmark, procedure, ratio, transport_mode, policy_mode, closure_order_mode
+):
+    method = PROPOSED if policy_mode is None else policy_mode
+
     def run():
         with make_world(
-            PROPOSED, closure_size=FIG4_CLOSURE, transport=transport_mode
+            method,
+            closure_size=FIG4_CLOSURE,
+            closure_order=closure_order_mode,
+            transport=transport_mode,
         ) as world:
             return run_tree_call(world, FIG4_NODES, procedure, ratio=ratio)
 
     run_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["policy"] = method
     benchmark.extra_info["sim_seconds"] = round(run_result.seconds, 4)
     benchmark.extra_info["write_faults"] = run_result.write_faults
     label = "updated" if procedure == "search_update" else "visited"

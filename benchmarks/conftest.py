@@ -11,13 +11,21 @@ in its output.
 deterministic modeled seconds), ``tcp`` (real localhost sockets, wall
 seconds), or ``both`` — which parametrizes every benchmark over the
 two so their rows land side by side in the pytest-benchmark JSON.
+
+``--policy`` substitutes any transfer policy for the proposed-method
+rows (the baseline rows keep their fixed policies), and
+``--closure-order`` forces the closure traversal order, so e.g. the CI
+smoke run exercises the adaptive policy end to end.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from repro.bench.harness import SIMNET, TRANSPORTS
+import pytest
+
+from repro.bench.harness import POLICIES, SIMNET, TRANSPORTS
+from repro.smartrpc.closure import BREADTH_FIRST, DEPTH_FIRST
 
 _SIM_RESULTS: List[str] = []
 
@@ -29,6 +37,30 @@ def pytest_addoption(parser):
         default=SIMNET,
         help="run benchmark worlds over simnet, tcp, or both",
     )
+    parser.addoption(
+        "--policy",
+        choices=POLICIES,
+        default=None,
+        help="transfer policy for the proposed-method rows",
+    )
+    parser.addoption(
+        "--closure-order",
+        choices=(BREADTH_FIRST, DEPTH_FIRST),
+        default=None,
+        help="closure traversal order (bfs is the paper's)",
+    )
+
+
+@pytest.fixture
+def policy_mode(request):
+    """The ``--policy`` override, or None for each figure's default."""
+    return request.config.getoption("--policy")
+
+
+@pytest.fixture
+def closure_order_mode(request):
+    """The ``--closure-order`` override, or None for the policy's."""
+    return request.config.getoption("--closure-order")
 
 
 def pytest_generate_tests(metafunc):

@@ -4,8 +4,9 @@ Every layer of the static analyzer — the IDL/type-graph rules, the
 trace conformance checker, and the session invariant validator —
 reports problems through one vocabulary: a :class:`Diagnostic` carries
 a rule code (``SRPC0xx`` for interface analysis, ``SRPC1xx`` for trace
-conformance, ``SRPC2xx`` for session invariants), a severity, a
-message, and an optional source location (``file:line:col``).
+conformance, ``SRPC2xx`` for session invariants, ``SRPC3xx`` for
+transfer-policy conformance), a severity, a message, and an optional
+source location (``file:line:col``).
 
 :class:`DiagnosticCollector` accumulates diagnostics with per-rule
 suppression, and the renderers in :mod:`repro.analysis.render` turn
@@ -112,6 +113,16 @@ _CATALOG: List[Rule] = [
     Rule("SRPC206", Severity.ERROR,
          "relayed modified-data-set references dead or non-resident "
          "entries"),
+    # -- transfer-policy conformance rules (SRPC3xx) ----------------------
+    Rule("SRPC300", Severity.ERROR,
+         "data-request budget contradicts the session's declared fixed "
+         "closure budget"),
+    Rule("SRPC301", Severity.ERROR,
+         "session declared a zero closure budget (lazy) but shipped "
+         "prefetched closure bytes"),
+    Rule("SRPC302", Severity.ERROR,
+         "session declared graphcopy marshalling (no data plane) but "
+         "recorded data-plane requests"),
 ]
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _CATALOG}

@@ -1,4 +1,4 @@
-"""Trace conformance checker (rules SRPC100-SRPC105).
+"""Trace conformance checker (rules SRPC100-SRPC105, SRPC300-SRPC302).
 
 Replays a recorded simulation trace — a JSON-lines log written by
 :func:`repro.simnet.tracefmt.save_trace` — and verifies the coherency
@@ -15,6 +15,21 @@ protocol's observable obligations (paper §3.4) offline:
   means silently lost modifications (SRPC104);
 * every session that transferred activity also records its end
   (SRPC105, warning — the trace may simply be truncated).
+
+A session that records a ``policy`` declaration additionally promises
+how its data plane behaves, and each recorded ``policy-decision`` is
+checked against the declaration:
+
+* a fixed declared budget must match every data request's budget
+  (SRPC300);
+* a declared zero budget (the lazy policy) must ship no prefetched
+  closure bytes — a "lazy" run that prefetches is mislabelled
+  (SRPC301);
+* graphcopy marshalling has no data plane at all, so any data request
+  contradicts it (SRPC302).
+
+Traces without policy declarations (conventional or pre-policy runs)
+skip the SRPC3xx rules entirely.
 
 Diagnostics point at ``tracefile:line`` where the line number is the
 offending record's position in the log.
@@ -40,6 +55,8 @@ PROTOCOL_CATEGORIES = (
     "session-end",
     "write-back",
     "invalidate",
+    "policy",
+    "policy-decision",
 )
 
 
@@ -56,6 +73,14 @@ def check_events(
     write_faults = set()  # (space, session, page) seen as write faults
     first_transfer = {}  # session -> index of its first transfer
     ended = set()  # sessions with a session-end record
+
+    # Policy declarations, gathered up front so a decision is checked
+    # against its space's declaration regardless of record order.
+    declared = {}  # (space, session) -> the "policy" event data
+    for event in events:
+        if event.category == "policy":
+            data = event.data or {}
+            declared[(data.get("space"), data.get("session"))] = data
 
     for index, event in enumerate(events):
         data = event.data or {}
@@ -102,6 +127,15 @@ def check_events(
             ended.add(session)
             _check_session_end(
                 events, index, data, collector, loc(index)
+            )
+        elif event.category == "policy-decision":
+            declaration = declared.get((data.get("space"), session))
+            if declaration is None:
+                # Undeclared (conventional or pre-policy) trace: the
+                # policy rules make no promise to check.
+                continue
+            _check_policy_decision(
+                declaration, data, collector, loc(index)
             )
 
     for session, index in sorted(
@@ -165,6 +199,58 @@ def _check_session_end(
             "every participant must drop its cached data",
             session=session,
             missing=list(missing),
+        )
+
+
+def _check_policy_decision(
+    declaration: dict,
+    data: dict,
+    collector: DiagnosticCollector,
+    location: SourceLocation,
+) -> None:
+    """SRPC300-SRPC302: one data request against its declaration."""
+    session = data.get("session")
+    policy = declaration.get("policy")
+    if declaration.get("marshalling") == "graphcopy":
+        collector.emit(
+            "SRPC302",
+            f"space {data.get('space')!r} declared graphcopy "
+            f"marshalling for session {session!r} but issued a data "
+            f"request to {data.get('home')!r}",
+            location,
+            hint="graphcopy deep-copies closures at call time; a "
+            "declared-graphcopy session has no fill-on-fault data "
+            "plane to make requests from",
+            session=session,
+            policy=policy,
+        )
+        return
+    promised = declaration.get("budget")
+    if promised is not None and data.get("budget") != promised:
+        collector.emit(
+            "SRPC300",
+            f"space {data.get('space')!r} requested a closure budget "
+            f"of {data.get('budget')} in session {session!r} but "
+            f"declared the fixed budget {promised}",
+            location,
+            hint="a fixed policy's per-request budget is its declared "
+            "budget; only variable policies (declared budget null) "
+            "may vary it",
+            session=session,
+            policy=policy,
+        )
+    if promised == 0 and (data.get("prefetch_bytes") or 0) > 0:
+        collector.emit(
+            "SRPC301",
+            f"space {data.get('space')!r} declared the zero-budget "
+            f"(lazy) policy for session {session!r} but shipped "
+            f"{data.get('prefetch_bytes')} prefetched byte(s)",
+            location,
+            hint="a lazy run transfers exactly the demanded data; "
+            "prefetched closure bytes mean the trace is mislabelled "
+            "or the budget was not honoured",
+            session=session,
+            policy=policy,
         )
 
 

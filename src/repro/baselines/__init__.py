@@ -1,18 +1,20 @@
-"""The two baseline RPC systems from the paper's Section 2.
+"""The baseline RPC systems from the paper's Section 2.
 
-* :class:`~repro.baselines.eager.FullyEagerRpc` — the whole transitive
-  closure of every pointer argument is deep-copied to the callee before
-  the procedure body runs (``rpcgen``-style recursive marshalling);
-* :class:`~repro.baselines.lazy.FullyLazyRpc` — pointer contents are
-  fetched by a callback at each first dereference, with no eager
-  closure and no sharing of pages between data.
+Both baselines are now *transfer policies* of the one smart runtime
+(:mod:`repro.smartrpc.policy`), so every method runs the same code
+path and the Figure 4/5 comparison measures the policies, not
+different programs:
 
-Both run the *same* workload code as the proposed method, so the
-Figure 4/5 comparison measures the transfer policies, not different
-programs.
+* the **fully eager** method is the ``graphcopy`` policy — the whole
+  transitive closure of every pointer argument is deep-copied to the
+  callee before the procedure body runs (``rpcgen``-style recursive
+  marshalling).  :class:`~repro.baselines.eager.FullyEagerRpc` survives
+  as a convenience constructor pinned to that policy;
+* the **fully lazy** method is the ``lazy`` policy — closure size 0
+  with isolated placeholder pages, one callback per first dereference.
+  Build it with ``SmartRpcRuntime(..., policy="lazy")``.
 """
 
 from repro.baselines.eager import FullyEagerRpc
-from repro.baselines.lazy import FullyLazyRpc
 
-__all__ = ["FullyEagerRpc", "FullyLazyRpc"]
+__all__ = ["FullyEagerRpc"]

@@ -10,30 +10,42 @@ execution overhead" when only a portion is needed.
 
 Copies are one-way: modifications made by the callee stay in the
 callee's copy (conventional RPC input-argument semantics).
+
+This class carries no marshalling logic of its own any more: it is the
+smart runtime pinned to the ``graphcopy`` transfer policy, which routes
+pointer marshalling through :mod:`repro.smartrpc.graphcopy` and
+disables the data plane and coherency protocol.  It survives as a
+convenience constructor; ``SmartRpcRuntime(..., policy="graphcopy")``
+is the same system.
 """
 
 from __future__ import annotations
 
-from repro.baselines import graphcopy
-from repro.rpc import marshal
-from repro.rpc.runtime import RpcRuntime
-from repro.rpc.session import SessionState
-from repro.xdr.stream import XdrDecoder, XdrEncoder
+from typing import Optional
+
+from repro.memory.address_space import AddressSpace
+from repro.namesvc.client import TypeResolver
+from repro.smartrpc.runtime import SmartRpcRuntime
+from repro.transport.base import Endpoint, Transport
+from repro.xdr.arch import Architecture
 
 
-class FullyEagerRpc(RpcRuntime):
+class FullyEagerRpc(SmartRpcRuntime):
     """Conventional RPC plus rpcgen-style deep copy of pointer closures."""
 
-    def _bind_pointer_out(self, state: SessionState) -> marshal.PointerOut:
-        def pointer_out(
-            encoder: XdrEncoder, pointer: int, target_type_id: str
-        ) -> None:
-            graphcopy.encode_graph(self, encoder, pointer, target_type_id)
-
-        return pointer_out
-
-    def _bind_pointer_in(self, state: SessionState) -> marshal.PointerIn:
-        def pointer_in(decoder: XdrDecoder, target_type_id: str) -> int:
-            return graphcopy.decode_graph(self, decoder, target_type_id)
-
-        return pointer_in
+    def __init__(
+        self,
+        network: Transport,
+        site: Endpoint,
+        arch: Architecture,
+        resolver: Optional[TypeResolver] = None,
+        space: Optional[AddressSpace] = None,
+    ) -> None:
+        super().__init__(
+            network,
+            site,
+            arch,
+            resolver=resolver,
+            space=space,
+            policy="graphcopy",
+        )

@@ -11,9 +11,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import POLICIES
+from repro.smartrpc.closure import BREADTH_FIRST, DEPTH_FIRST
 
 _QUICK_OVERRIDES = {
     "fig4": dict(num_nodes=8191, ratios=[0.0, 0.25, 0.5, 0.75, 1.0]),
@@ -43,6 +46,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="reduced problem sizes (for smoke runs)",
     )
+    parser.add_argument(
+        "--policy",
+        choices=POLICIES,
+        help="transfer policy for the proposed-method column",
+    )
+    parser.add_argument(
+        "--closure-order",
+        choices=(BREADTH_FIRST, DEPTH_FIRST),
+        help="closure traversal order (bfs is the paper's)",
+    )
     args = parser.parse_args(argv)
     if not args.experiment:
         print("available experiments:")
@@ -60,7 +73,22 @@ def main(argv=None) -> int:
         if runner is None:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
-        kwargs = _QUICK_OVERRIDES.get(name, {}) if args.quick else {}
+        kwargs = dict(_QUICK_OVERRIDES.get(name, {})) if args.quick else {}
+        accepted = inspect.signature(runner).parameters
+        for flag, value in (
+            ("policy", args.policy),
+            ("closure_order", args.closure_order),
+        ):
+            if value is None:
+                continue
+            if flag not in accepted:
+                print(
+                    f"note: {name} does not take --{flag.replace('_', '-')};"
+                    " ignored",
+                    file=sys.stderr,
+                )
+                continue
+            kwargs[flag] = value
         result = runner(**kwargs)
         print(result.render())
         print()

@@ -24,8 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.baselines.eager import FullyEagerRpc
-from repro.baselines.lazy import FullyLazyRpc
 from repro.namesvc.client import TypeResolver
 from repro.namesvc.server import TypeNameServer
 from repro.rpc.runtime import RpcRuntime
@@ -33,12 +31,23 @@ from repro.rpc.stubgen import ClientStub
 from repro.simnet.clock import CostModel, Stopwatch
 from repro.simnet.network import Network
 from repro.simnet.stats import StatsCollector
-from repro.smartrpc.cache import SINGLE_HOME
-from repro.smartrpc.closure import BREADTH_FIRST
+from repro.smartrpc.hints import ClosureHints
+from repro.smartrpc.policy import (
+    POLICY_NAMES,
+    TransferPolicy,
+    make_policy,
+)
 from repro.smartrpc.runtime import SmartRpcRuntime
 from repro.transport.base import Endpoint, RetryPolicy, Transport
 from repro.transport.tcp import TcpTransport
-from repro.workloads.hashtable import bind_hash_server, register_hash_types
+from repro.workloads.hashtable import (
+    HASH_NODE_TYPE_ID,
+    HASH_TABLE_TYPE_ID,
+    bind_hash_server,
+    build_hash_table,
+    hash_client,
+    register_hash_types,
+)
 from repro.workloads.linked_list import bind_list_server, register_list_types
 from repro.workloads.traversal import (
     TREE_OPS,
@@ -52,10 +61,68 @@ from repro.xdr.registry import TypeRegistry
 
 from repro.bench.calibration import PAPER_COST_MODEL
 
+#: The paper's three systems, as transfer-policy names.  ``proposed``
+#: is an alias for the ``paper`` policy that additionally accepts the
+#: benchmark knobs (closure size sweeps etc.); the fully eager method
+#: is the ``graphcopy`` policy and the fully lazy one the ``lazy``
+#: policy, so every baseline runs through the one smart runtime.
 PROPOSED = "proposed"
-FULLY_EAGER = "eager"
+FULLY_EAGER = "graphcopy"
 FULLY_LAZY = "lazy"
 METHODS = (FULLY_EAGER, FULLY_LAZY, PROPOSED)
+
+#: Everything ``make_world`` (and the ``--policy`` CLI flag) accepts.
+POLICIES = tuple(sorted(set(POLICY_NAMES) | {PROPOSED}))
+
+
+def standard_workload_hints() -> ClosureHints:
+    """The benchmark workloads' programmer hints (paper §6).
+
+    Hash retrieval follows only the bucket chain and never fans out of
+    the table header; tree and list types are unhinted (every pointer
+    field is followed).  This is what the ``hinted`` policy preset uses
+    unless the caller supplies its own hints.
+    """
+    hints = ClosureHints()
+    hints.follow(HASH_TABLE_TYPE_ID, [])
+    hints.follow(HASH_NODE_TYPE_ID, ["next"])
+    return hints
+
+
+def resolve_policy(
+    method,
+    closure_size=None,
+    allocation_strategy=None,
+    closure_order=None,
+    batch_memory_ops=None,
+    closure_hints=None,
+) -> TransferPolicy:
+    """Resolve a ``make_world`` method/policy argument into a policy.
+
+    ``proposed`` maps to the ``paper`` policy with every benchmark knob
+    applied; the pinned presets (``lazy``, ``eager``, ``graphcopy``)
+    ignore the closure-size sweep knob, which belongs to the proposed
+    method's ablations.
+    """
+    if isinstance(method, TransferPolicy):
+        return method
+    name = "paper" if method == PROPOSED else method
+    if name not in POLICY_NAMES:
+        raise ValueError(f"unknown method {method!r}")
+    if name == "hinted" and closure_hints is None:
+        closure_hints = standard_workload_hints()
+    if name in ("lazy", "eager"):
+        closure_size = None
+    if name == "graphcopy":
+        return make_policy(name)
+    return make_policy(
+        name,
+        closure_size=closure_size,
+        allocation_strategy=allocation_strategy,
+        closure_order=closure_order,
+        batch_memory_ops=batch_memory_ops,
+        closure_hints=closure_hints,
+    )
 
 CALLER = "A"
 CALLEE = "B"
@@ -96,51 +163,48 @@ class World:
 
 
 def _make_runtime(
-    method: str,
+    policy: TransferPolicy,
     network: Transport,
     site: Endpoint,
     arch: Architecture,
-    closure_size: int,
-    allocation_strategy: str,
-    closure_order: str,
-    batch_memory_ops: bool,
 ) -> RpcRuntime:
     resolver = TypeResolver(site, NAME_SERVER)
-    if method == PROPOSED:
-        return SmartRpcRuntime(
-            network,
-            site,
-            arch,
-            resolver=resolver,
-            closure_size=closure_size,
-            allocation_strategy=allocation_strategy,
-            closure_order=closure_order,
-            batch_memory_ops=batch_memory_ops,
-        )
-    if method == FULLY_EAGER:
-        return FullyEagerRpc(network, site, arch, resolver=resolver)
-    if method == FULLY_LAZY:
-        return FullyLazyRpc(network, site, arch, resolver=resolver)
-    raise ValueError(f"unknown method {method!r}")
+    return SmartRpcRuntime(
+        network, site, arch, resolver=resolver, policy=policy
+    )
 
 
 def make_world(
-    method: str,
-    closure_size: int = 8192,
-    allocation_strategy: str = SINGLE_HOME,
-    closure_order: str = BREADTH_FIRST,
+    method: str = PROPOSED,
+    closure_size: Optional[int] = None,
+    allocation_strategy: Optional[str] = None,
+    closure_order: Optional[str] = None,
     caller_arch: Architecture = SPARC32,
     callee_arch: Architecture = SPARC32,
     cost_model: Optional[CostModel] = None,
-    batch_memory_ops: bool = True,
+    batch_memory_ops: Optional[bool] = None,
     transport: str = SIMNET,
     trace: bool = False,
+    closure_hints: Optional[ClosureHints] = None,
 ) -> World:
     """Build a fresh deployment running ``method`` over ``transport``.
+
+    ``method`` is any transfer-policy name (``proposed``, ``lazy``,
+    ``eager``, ``graphcopy``, ``paper``, ``hinted``, ``adaptive``,
+    ``fixed``) or a :class:`~repro.smartrpc.policy.TransferPolicy`
+    instance; each runtime gets its own fresh copy.
 
     Both sites default to the paper's SPARC architecture so node sizes
     (16 bytes) and therefore transfer volumes match the original.
     """
+    policy = resolve_policy(
+        method,
+        closure_size=closure_size,
+        allocation_strategy=allocation_strategy,
+        closure_order=closure_order,
+        batch_memory_ops=batch_memory_ops,
+        closure_hints=closure_hints,
+    )
     model = cost_model if cost_model is not None else PAPER_COST_MODEL
     stats = StatsCollector(trace=trace)
     if transport == SIMNET:
@@ -180,14 +244,8 @@ def make_world(
     else:
         raise ValueError(f"unknown transport {transport!r}")
     TypeNameServer(ns_site, TypeRegistry())
-    caller = _make_runtime(
-        method, caller_net, caller_site, caller_arch,
-        closure_size, allocation_strategy, closure_order, batch_memory_ops,
-    )
-    callee = _make_runtime(
-        method, callee_net, callee_site, callee_arch,
-        closure_size, allocation_strategy, closure_order, batch_memory_ops,
-    )
+    caller = _make_runtime(policy, caller_net, caller_site, caller_arch)
+    callee = _make_runtime(policy, callee_net, callee_site, callee_arch)
     for runtime in (caller, callee):
         register_tree_types(runtime)
         register_hash_types(runtime)
@@ -196,7 +254,8 @@ def make_world(
     bind_tree_server(callee)
     bind_hash_server(callee)
     bind_list_server(callee)
-    return World(network, caller, callee, method, transport, transports)
+    label = method if isinstance(method, str) else policy.name
+    return World(network, caller, callee, label, transport, transports)
 
 
 @dataclass
@@ -212,6 +271,13 @@ class ExperimentRun:
     write_faults: int
     entries: int
     result: int
+    # Shipped-vs-touched accounting of the fill path (closure bytes
+    # sent vs actually accessed; the prefetch pair excludes demanded
+    # roots) — the adaptive policy's feedback signal.
+    closure_shipped: int = 0
+    closure_touched: int = 0
+    prefetch_shipped: int = 0
+    prefetch_touched: int = 0
 
     def row(self) -> tuple:
         """Compact tuple for table rendering."""
@@ -222,6 +288,15 @@ class ExperimentRun:
             self.messages,
             self.bytes_moved,
         )
+
+    def ledger(self) -> dict:
+        """The shipped-vs-touched counters, for JSON reporting."""
+        return {
+            "closure_bytes_shipped": self.closure_shipped,
+            "closure_bytes_touched": self.closure_touched,
+            "prefetch_bytes_shipped": self.prefetch_shipped,
+            "prefetch_bytes_touched": self.prefetch_touched,
+        }
 
 
 def run_tree_call(
@@ -262,7 +337,36 @@ def run_tree_call(
         else:
             raise ValueError(f"unknown tree procedure {procedure!r}")
         seconds = watch.elapsed
+    return _finish_run(world, seconds, result)
+
+
+def run_hash_call(
+    world: World,
+    num_keys: int,
+    lookups: int,
+    first_key: int = 17,
+) -> ExperimentRun:
+    """Build a hash table on the caller and measure remote lookups.
+
+    The sparse-retrieval workload of the §6 hints discussion (and the
+    adaptive policy's target): ``lookups`` chained key lookups touch a
+    handful of bucket chains while an unhinted eager closure prefetches
+    whole neighbourhoods of the table.
+    """
+    table, _ = build_hash_table(world.caller, list(range(num_keys)))
+    stub = hash_client(world.caller, CALLEE)
+    world.stats.reset()
+    clock = world.network.clock
+    with world.caller.session() as session:
+        watch = Stopwatch(clock)
+        result = stub.lookup_many(session, table, first_key, lookups)
+        seconds = watch.elapsed
+    return _finish_run(world, seconds, result)
+
+
+def _finish_run(world: World, seconds: float, result: int) -> ExperimentRun:
     stats = world.stats
+    ledger = stats.transfer_ledger
     return ExperimentRun(
         method=world.method,
         seconds=seconds,
@@ -273,4 +377,8 @@ def run_tree_call(
         write_faults=stats.write_faults,
         entries=stats.entries_transferred,
         result=result,
+        closure_shipped=ledger.closure_bytes_shipped,
+        closure_touched=ledger.closure_bytes_touched,
+        prefetch_shipped=ledger.prefetch_bytes_shipped,
+        prefetch_touched=ledger.prefetch_bytes_touched,
     )

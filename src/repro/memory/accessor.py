@@ -20,7 +20,7 @@ costs exactly as much as local data.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.memory.address_space import AddressSpace
 from repro.memory.faults import AccessViolation, FaultLoopError
@@ -44,6 +44,12 @@ class Mem:
         self.clock = clock
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.stats = stats
+        #: Called as ``observer(address, size, is_write)`` after each
+        #: successful access.  Only the program plane goes through
+        #: :class:`Mem`, so this sees exactly what the procedure body
+        #: touches — the smart runtime hooks it for shipped-vs-touched
+        #: accounting — and never the codec's raw-plane traffic.
+        self.observer: Optional[Callable[[int, int, bool], None]] = None
 
     # -- raw loads/stores ----------------------------------------------------
 
@@ -56,6 +62,8 @@ class Mem:
                 self._deliver(fault)
                 continue
             self._charge_access()
+            if self.observer is not None:
+                self.observer(address, size, False)
             return data
         raise FaultLoopError(
             f"load of {address:#x} in {self.space.space_id!r} still faults "
@@ -71,6 +79,8 @@ class Mem:
                 self._deliver(fault)
                 continue
             self._charge_access()
+            if self.observer is not None:
+                self.observer(address, len(data), True)
             return
         raise FaultLoopError(
             f"store to {address:#x} in {self.space.space_id!r} still faults "

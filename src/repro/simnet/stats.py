@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.simnet.message import Message, MessageKind
 
@@ -31,6 +31,46 @@ class TraceEvent:
     data: Optional[Mapping[str, Any]] = field(
         default=None, compare=False
     )
+
+
+@dataclass
+class TransferLedger:
+    """Shipped-vs-touched accounting of the fault-driven fill path.
+
+    ``shipped`` counts closure bytes a home space sent in data replies;
+    ``touched`` counts the subset the program actually accessed.  The
+    ``prefetch_*`` pair restricts both to data shipped *beyond* the
+    demanded roots — the eager-closure gamble whose payoff the adaptive
+    policy watches.  One ledger lives on the global
+    :class:`StatsCollector` (benchmark reporting) and one per smart
+    session (the adaptive feedback signal).
+    """
+
+    closure_bytes_shipped: int = 0
+    closure_bytes_touched: int = 0
+    prefetch_bytes_shipped: int = 0
+    prefetch_bytes_touched: int = 0
+
+    def record_shipped(self, size: int, prefetched: bool) -> None:
+        """Count one entry's bytes arriving on the fill path."""
+        self.closure_bytes_shipped += size
+        if prefetched:
+            self.prefetch_bytes_shipped += size
+
+    def record_touched(self, size: int, prefetched: bool) -> None:
+        """Count one shipped entry's first program access."""
+        self.closure_bytes_touched += size
+        if prefetched:
+            self.prefetch_bytes_touched += size
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter mapping for JSON reporting."""
+        return {
+            "closure_bytes_shipped": self.closure_bytes_shipped,
+            "closure_bytes_touched": self.closure_bytes_touched,
+            "prefetch_bytes_shipped": self.prefetch_bytes_shipped,
+            "prefetch_bytes_touched": self.prefetch_bytes_touched,
+        }
 
 
 class StatsCollector:
@@ -56,6 +96,7 @@ class StatsCollector:
         self.remote_mallocs = 0
         self.remote_frees = 0
         self.batch_flushes = 0
+        self.transfer_ledger = TransferLedger()
 
     # -- messages ---------------------------------------------------------
 
@@ -118,6 +159,7 @@ class StatsCollector:
         self.remote_mallocs = 0
         self.remote_frees = 0
         self.batch_flushes = 0
+        self.transfer_ledger = TransferLedger()
 
     def summary(self) -> str:
         """Human-readable multi-line counter dump."""
@@ -132,6 +174,11 @@ class StatsCollector:
             f"remote mallocs: {self.remote_mallocs}, "
             f"frees: {self.remote_frees}, "
             f"batch flushes: {self.batch_flushes}",
+            f"closure bytes shipped: "
+            f"{self.transfer_ledger.closure_bytes_shipped} "
+            f"(touched: {self.transfer_ledger.closure_bytes_touched}), "
+            f"prefetched: {self.transfer_ledger.prefetch_bytes_shipped} "
+            f"(touched: {self.transfer_ledger.prefetch_bytes_touched})",
         ]
         return "\n".join(lines)
 

@@ -20,7 +20,12 @@ substrate (:mod:`repro.rpc`):
 * :class:`~repro.smartrpc.remote_heap.RemoteHeap` — ``extended_malloc``
   / ``extended_free`` with batched remote operations;
 * :class:`~repro.smartrpc.runtime.SmartRpcRuntime` — the runtime tying
-  everything together, including the session coherency protocol.
+  everything together, including the session coherency protocol;
+* :mod:`repro.smartrpc.policy` — pluggable transfer policies: the
+  eagerness spectrum (lazy/eager/paper/hinted/graphcopy presets) plus
+  the adaptive closure budget tuned from shipped-vs-touched feedback;
+* :mod:`repro.smartrpc.graphcopy` — rpcgen-style deep-copy marshalling
+  (the ``graphcopy`` policy's encoder/decoder).
 """
 
 from repro.smartrpc.alloc_table import AllocEntry, DataAllocationTable
@@ -30,16 +35,30 @@ from repro.smartrpc.errors import (
     SwizzleError,
 )
 from repro.smartrpc.long_pointer import NULL_POINTER, LongPointer
+from repro.smartrpc.policy import (
+    POLICY_NAMES,
+    AdaptivePolicy,
+    FixedPolicy,
+    GraphcopyPolicy,
+    TransferPolicy,
+    make_policy,
+)
 from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
 
 __all__ = [
+    "AdaptivePolicy",
     "AllocEntry",
     "DataAllocationTable",
     "DanglingPointerError",
+    "FixedPolicy",
+    "GraphcopyPolicy",
     "LongPointer",
     "NULL_POINTER",
+    "POLICY_NAMES",
     "SmartRpcError",
     "SmartRpcRuntime",
     "SmartSessionState",
     "SwizzleError",
+    "TransferPolicy",
+    "make_policy",
 ]

@@ -40,6 +40,13 @@ class AllocEntry:
     page_number: int
     offset: int
     resident: bool = False
+    #: Shipped-vs-touched accounting (the adaptive policy's signal):
+    #: ``shipped`` marks data that arrived on the fault-driven fill
+    #: path, ``prefetched`` the subset shipped beyond the demanded
+    #: roots, ``touched`` whether the program ever accessed it.
+    shipped: bool = False
+    prefetched: bool = False
+    touched: bool = False
 
     @property
     def end(self) -> int:

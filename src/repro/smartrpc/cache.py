@@ -72,8 +72,11 @@ class CacheManager:
         self,
         runtime: "SmartRpcRuntime",
         state: "SmartSessionState",
-        strategy: str = SINGLE_HOME,
+        strategy: Optional[str] = None,
     ) -> None:
+        if strategy is None:
+            # The placeholder strategy is a transfer-policy decision.
+            strategy = runtime.policy.allocation_strategy
         if strategy not in STRATEGIES:
             raise SmartRpcError(f"unknown allocation strategy {strategy!r}")
         self.runtime = runtime
@@ -337,6 +340,45 @@ class CacheManager:
                 f"{page.number}"
             )
         self.runtime.stats.pages_filled += 1
+
+    # -- shipped-vs-touched accounting ----------------------------------------
+
+    def note_shipped(self, entry: AllocEntry, prefetched: bool) -> None:
+        """Count an entry's bytes arriving on the fill path.
+
+        ``prefetched`` marks data shipped beyond the demanded roots —
+        the eager-closure gamble the adaptive policy's feedback loop
+        scores against :meth:`note_touch`.
+        """
+        entry.shipped = True
+        entry.prefetched = prefetched
+        self.state.transfer_stats.record_shipped(entry.size, prefetched)
+        self.runtime.stats.transfer_ledger.record_shipped(
+            entry.size, prefetched
+        )
+
+    def note_duplicate_shipment(self, size: int) -> None:
+        """Count bytes re-shipped for an already-resident entry.
+
+        The closure overshot into data this space already holds: the
+        bytes crossed the wire and bought nothing, so they score as
+        untouchable prefetch waste.
+        """
+        self.state.transfer_stats.record_shipped(size, True)
+        self.runtime.stats.transfer_ledger.record_shipped(size, True)
+
+    def note_touch(self, address: int) -> None:
+        """Record the program's first access to a shipped entry."""
+        entry = self.table.entry_containing(address)
+        if entry is None or not entry.shipped or entry.touched:
+            return
+        entry.touched = True
+        self.state.transfer_stats.record_touched(
+            entry.size, entry.prefetched
+        )
+        self.runtime.stats.transfer_ledger.record_touched(
+            entry.size, entry.prefetched
+        )
 
     # -- residency and dirtiness ----------------------------------------------
 

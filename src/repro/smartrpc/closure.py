@@ -23,6 +23,7 @@ from repro.smartrpc.long_pointer import LongPointer
 from repro.xdr.types import TypeSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.smartrpc.hints import ClosureHints
     from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
 
 BREADTH_FIRST = "bfs"
@@ -51,6 +52,7 @@ class ClosureWalker:
         state: "SmartSessionState",
         budget_bytes: int,
         order: str = BREADTH_FIRST,
+        hints: Optional["ClosureHints"] = None,
     ) -> None:
         if order not in (BREADTH_FIRST, DEPTH_FIRST):
             raise SmartRpcError(f"unknown closure order {order!r}")
@@ -60,6 +62,9 @@ class ClosureWalker:
         self.state = state
         self.budget_bytes = budget_bytes
         self.order = order
+        # Default to the serving runtime's policy hints, so a walker
+        # constructed bare behaves like the data plane's.
+        self.hints = hints if hints is not None else runtime.policy.hints
 
     def walk(self, roots: Sequence[LongPointer]) -> List[ClosureItem]:
         """Select data to transfer: all roots, then closure to budget.
@@ -127,7 +132,7 @@ class ClosureWalker:
         followed per type; unhinted types follow every pointer field.
         """
         offsets = None
-        hints = self.runtime.closure_hints
+        hints = self.hints
         if hints is not None:
             offsets = hints.pointer_offsets(
                 item.pointer.type_id, item.spec, self.runtime.arch

@@ -14,11 +14,20 @@ paper's three techniques:
 
 It also serves the data plane (fault-driven requests with eager
 closure) and implements ``extended_malloc`` / ``extended_free``.
+
+Every transfer/eagerness decision — marshalling style, closure budget,
+traversal order, hints, placeholder strategy, malloc batching, whether
+coherency runs at all — lives in the runtime's
+:class:`~repro.smartrpc.policy.TransferPolicy`.  The legacy constructor
+knobs (``closure_size=``, ``allocation_strategy=``, ...) still work and
+build a fixed policy, so existing code keeps its meaning; the paper's
+baselines are now just the ``lazy`` and ``graphcopy`` presets of this
+one runtime.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.memory.address_space import AddressSpace
 from repro.memory.faults import AccessViolation
@@ -28,8 +37,9 @@ from repro.rpc.errors import SessionError
 from repro.rpc.runtime import RpcRuntime
 from repro.rpc.session import SessionState
 from repro.simnet.message import MessageKind
+from repro.simnet.stats import TransferLedger
 from repro.transport.base import Endpoint, Transport
-from repro.smartrpc import coherency, remote_heap, transfer
+from repro.smartrpc import coherency, graphcopy, remote_heap, transfer
 from repro.smartrpc.alloc_table import AllocEntry
 from repro.smartrpc.cache import SINGLE_HOME, CacheManager
 from repro.smartrpc.closure import BREADTH_FIRST
@@ -40,16 +50,26 @@ from repro.smartrpc.long_pointer import (
     decode_long_pointer,
     encode_long_pointer,
 )
+from repro.smartrpc.policy import (
+    DEFAULT_CLOSURE_SIZE,
+    GRAPHCOPY,
+    FixedPolicy,
+    TransferPolicy,
+    make_policy,
+)
 from repro.smartrpc.swizzle import Swizzler
 from repro.xdr.arch import Architecture
 from repro.xdr.stream import XdrDecoder, XdrEncoder
 
-DEFAULT_CLOSURE_SIZE = 8192
-"""The paper's experimental default (§4.1, §4.3)."""
-
 
 class SmartSessionState(SessionState):
-    """Per-space session state: cache, swizzler, batches, dirty relay."""
+    """Per-space session state: cache, swizzler, batches, dirty relay.
+
+    Also the unit of policy feedback: ``transfer_stats`` is this
+    session's shipped-vs-touched ledger and ``policy_data`` the
+    policy's per-session scratch (the adaptive budget lives here, so
+    concurrent sessions tune independently).
+    """
 
     def __init__(
         self,
@@ -58,19 +78,32 @@ class SmartSessionState(SessionState):
         runtime: "SmartRpcRuntime",
     ) -> None:
         super().__init__(session_id, ground_site)
+        self.policy = runtime.policy
         self.cache = CacheManager(
-            runtime, self, strategy=runtime.allocation_strategy
+            runtime, self, strategy=self.policy.allocation_strategy
         )
         self.swizzler = Swizzler(runtime, self)
         self.relayed_dirty: Set[AllocEntry] = set()
         self.pending_allocs: List[AllocEntry] = []
         self.pending_frees: List[LongPointer] = []
+        self.transfer_stats = TransferLedger()
+        self.policy_data: Dict[str, Any] = {}
+        runtime.stats.record_event(
+            runtime.clock.now,
+            "policy",
+            f"{runtime.site_id}: session {session_id} under policy "
+            f"{self.policy.name!r}",
+            data={
+                "space": runtime.site_id,
+                "session": session_id,
+                "ground": ground_site,
+                **self.policy.describe(),
+            },
+        )
 
 
 class SmartRpcRuntime(RpcRuntime):
     """RPC runtime with transparent remote pointers."""
-
-    _piggyback_expected = True
 
     def __init__(
         self,
@@ -79,22 +112,25 @@ class SmartRpcRuntime(RpcRuntime):
         arch: Architecture,
         resolver: Optional[TypeResolver] = None,
         space: Optional[AddressSpace] = None,
-        closure_size: int = DEFAULT_CLOSURE_SIZE,
-        allocation_strategy: str = SINGLE_HOME,
-        closure_order: str = BREADTH_FIRST,
-        batch_memory_ops: bool = True,
+        policy: Optional[Union[str, TransferPolicy]] = None,
+        closure_size: Optional[int] = None,
+        allocation_strategy: Optional[str] = None,
+        closure_order: Optional[str] = None,
+        batch_memory_ops: Optional[bool] = None,
         closure_hints: Optional["ClosureHints"] = None,
     ) -> None:
         super().__init__(network, site, arch, resolver=resolver, space=space)
-        if closure_size < 0:
-            raise SmartRpcError(f"bad closure size {closure_size!r}")
-        self.closure_size = closure_size
-        self.allocation_strategy = allocation_strategy
-        self.closure_order = closure_order
-        self.batch_memory_ops = batch_memory_ops
-        self.closure_hints = closure_hints
+        self.policy = self._resolve_policy(
+            policy,
+            closure_size,
+            allocation_strategy,
+            closure_order,
+            batch_memory_ops,
+            closure_hints,
+        )
         self._page_cache: Dict[int, CacheManager] = {}
         self.space.set_fault_handler(self._handle_fault)
+        self.mem.observer = self._note_program_access
         site.register_handler(
             MessageKind.DATA_REQUEST,
             lambda message: transfer.handle_data_request(self, message),
@@ -111,6 +147,112 @@ class SmartRpcRuntime(RpcRuntime):
             MessageKind.MEMORY_BATCH,
             lambda message: remote_heap.handle_memory_batch(self, message),
         )
+
+    @staticmethod
+    def _resolve_policy(
+        policy: Optional[Union[str, TransferPolicy]],
+        closure_size: Optional[int],
+        allocation_strategy: Optional[str],
+        closure_order: Optional[str],
+        batch_memory_ops: Optional[bool],
+        closure_hints: Optional["ClosureHints"],
+    ) -> TransferPolicy:
+        if isinstance(policy, TransferPolicy):
+            knobs = (
+                closure_size,
+                allocation_strategy,
+                closure_order,
+                batch_memory_ops,
+                closure_hints,
+            )
+            if any(knob is not None for knob in knobs):
+                raise SmartRpcError(
+                    "pass either a TransferPolicy instance or the "
+                    "legacy knobs, not both"
+                )
+            return policy.fresh()
+        if isinstance(policy, str):
+            return make_policy(
+                policy,
+                closure_size=closure_size,
+                allocation_strategy=allocation_strategy,
+                closure_order=closure_order,
+                batch_memory_ops=batch_memory_ops,
+                closure_hints=closure_hints,
+            )
+        if policy is not None:
+            raise SmartRpcError(f"bad policy {policy!r}")
+        defaults = (
+            closure_size is None
+            and allocation_strategy is None
+            and closure_order is None
+            and closure_hints is None
+        )
+        return FixedPolicy(
+            DEFAULT_CLOSURE_SIZE if closure_size is None else closure_size,
+            name="paper" if defaults else "fixed",
+            allocation_strategy=(
+                SINGLE_HOME
+                if allocation_strategy is None
+                else allocation_strategy
+            ),
+            closure_order=(
+                BREADTH_FIRST if closure_order is None else closure_order
+            ),
+            hints=closure_hints,
+            batch_memory_ops=(
+                True if batch_memory_ops is None else batch_memory_ops
+            ),
+        )
+
+    # -- policy views (the legacy knob surface) -------------------------------
+
+    @property
+    def closure_size(self) -> int:
+        """The policy's per-request budget (fixed policies only)."""
+        budget = self.policy.declared_budget
+        if budget is None:
+            raise SmartRpcError(
+                f"policy {self.policy.name!r} has no fixed closure size"
+            )
+        return budget
+
+    @closure_size.setter
+    def closure_size(self, budget: int) -> None:
+        setter = getattr(self.policy, "set_budget", None)
+        if setter is None:
+            raise SmartRpcError(
+                f"policy {self.policy.name!r} does not take a fixed "
+                "closure size"
+            )
+        setter(budget)
+
+    @property
+    def allocation_strategy(self) -> str:
+        """The policy's placeholder-page allocation strategy."""
+        return self.policy.allocation_strategy
+
+    @property
+    def closure_order(self) -> str:
+        """The policy's closure traversal order."""
+        return self.policy.closure_order
+
+    @property
+    def batch_memory_ops(self) -> bool:
+        """Whether extended_malloc/free batch per activity transfer."""
+        return self.policy.batch_memory_ops
+
+    @property
+    def closure_hints(self) -> Optional["ClosureHints"]:
+        """The policy's programmer closure hints (paper §6)."""
+        return self.policy.hints
+
+    @property
+    def _piggyback_expected(self) -> bool:
+        # Coherency-free policies (graphcopy) make no piggyback
+        # promises, so transfer traces record ``piggyback: null`` as
+        # the conventional runtime's do.
+        return self.policy.coherency
 
     # -- cache page fault dispatch --------------------------------------------
 
@@ -130,6 +272,15 @@ class SmartRpcRuntime(RpcRuntime):
             # Not a cache page: a genuine protection bug — surface it.
             raise fault
         cache.handle_fault(fault)
+
+    def _note_program_access(
+        self, address: int, size: int, _write: bool
+    ) -> None:
+        # The Mem observer: the program plane touched local memory.
+        # Only cache pages matter for shipped-vs-touched accounting.
+        cache = self._page_cache.get(address // self.space.page_size)
+        if cache is not None:
+            cache.note_touch(address)
 
     # -- session plumbing -----------------------------------------------------
 
@@ -151,7 +302,8 @@ class SmartRpcRuntime(RpcRuntime):
 
     def _teardown_session(self, state: SessionState) -> None:
         assert isinstance(state, SmartSessionState)
-        coherency.end_session(self, state)
+        if self.policy.coherency:
+            coherency.end_session(self, state)
 
     def invalidate_session(self, session_id: str) -> None:
         """Drop a session on the invalidation multicast."""
@@ -167,6 +319,8 @@ class SmartRpcRuntime(RpcRuntime):
 
     def _make_piggyback(self, state: SessionState, dst: str) -> bytes:
         assert isinstance(state, SmartSessionState)
+        if not self.policy.coherency:
+            return b""
         remote_heap.flush(self, state)
         return coherency.encode_piggyback(self, state)
 
@@ -174,6 +328,13 @@ class SmartRpcRuntime(RpcRuntime):
         self, state: SessionState, src: str, data: bytes
     ) -> None:
         assert isinstance(state, SmartSessionState)
+        if not self.policy.coherency:
+            if data:
+                raise SmartRpcError(
+                    f"policy {self.policy.name!r} runs no coherency "
+                    "protocol but received piggyback data"
+                )
+            return
         coherency.apply_piggyback(self, state, data)
 
     def flush_memory_batch(self, state: SmartSessionState) -> None:
@@ -184,6 +345,14 @@ class SmartRpcRuntime(RpcRuntime):
 
     def _bind_pointer_out(self, state: SessionState) -> marshal.PointerOut:
         assert isinstance(state, SmartSessionState)
+        if self.policy.marshalling == GRAPHCOPY:
+
+            def copy_out(
+                encoder: XdrEncoder, pointer: int, target_type_id: str
+            ) -> None:
+                graphcopy.encode_graph(self, encoder, pointer, target_type_id)
+
+            return copy_out
 
         def pointer_out(
             encoder: XdrEncoder, pointer: int, _target_type_id: str
@@ -200,6 +369,12 @@ class SmartRpcRuntime(RpcRuntime):
 
     def _bind_pointer_in(self, state: SessionState) -> marshal.PointerIn:
         assert isinstance(state, SmartSessionState)
+        if self.policy.marshalling == GRAPHCOPY:
+
+            def copy_in(decoder: XdrDecoder, target_type_id: str) -> int:
+                return graphcopy.decode_graph(self, decoder, target_type_id)
+
+            return copy_in
 
         def pointer_in(decoder: XdrDecoder, _target_type_id: str) -> int:
             return state.swizzler.swizzle(decode_long_pointer(decoder))
@@ -230,8 +405,13 @@ class SmartRpcRuntime(RpcRuntime):
         state = session.state
         if not isinstance(state, SmartSessionState):
             raise SessionError("extended_malloc needs a smart-RPC session")
+        if not self.policy.coherency:
+            raise SmartRpcError(
+                f"policy {self.policy.name!r} has no coherency protocol "
+                "to carry extended_malloc"
+            )
         pointer = remote_heap.extended_malloc(self, state, space_id, type_id)
-        if not self.batch_memory_ops:
+        if not self.policy.batch_memory_ops:
             # Ablation mode: the paper's rejected design — one remote
             # message per allocation instead of batching.
             remote_heap.flush(self, state)
@@ -242,6 +422,11 @@ class SmartRpcRuntime(RpcRuntime):
         state = session.state
         if not isinstance(state, SmartSessionState):
             raise SessionError("extended_free needs a smart-RPC session")
+        if not self.policy.coherency:
+            raise SmartRpcError(
+                f"policy {self.policy.name!r} has no coherency protocol "
+                "to carry extended_free"
+            )
         remote_heap.extended_free(self, state, pointer)
-        if not self.batch_memory_ops:
+        if not self.policy.batch_memory_ops:
             remote_heap.flush(self, state)

@@ -22,10 +22,15 @@ area is transferred later when necessary".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set
 
 from repro.simnet.message import Message, MessageKind
-from repro.smartrpc.closure import ClosureItem, ClosureWalker
+from repro.smartrpc.closure import (
+    BREADTH_FIRST,
+    DEPTH_FIRST,
+    ClosureItem,
+    ClosureWalker,
+)
 from repro.smartrpc.errors import SmartRpcError
 from repro.smartrpc.long_pointer import (
     LongPointer,
@@ -51,6 +56,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _STATUS_OK = 0
 _STATUS_ERROR = 1
+
+# The requester's traversal order travels in the DATA_REQUEST so the
+# home space walks the closure the way the requesting policy wants.
+_ORDER_CODES = {BREADTH_FIRST: 0, DEPTH_FIRST: 1}
+_ORDER_NAMES = {code: name for name, code in _ORDER_CODES.items()}
 
 
 # -- batch encoding -----------------------------------------------------------
@@ -95,6 +105,7 @@ def apply_batch(
     state: "SmartSessionState",
     payload: bytes,
     overwrite: bool,
+    demanded: Optional[Set[LongPointer]] = None,
 ) -> int:
     """Install a batch into this space; returns items applied.
 
@@ -104,6 +115,10 @@ def apply_batch(
     ``overwrite=True`` is the coherency path: incoming data is strictly
     newer (single active thread), so it always lands; items whose home
     is *this* space update the original data itself.
+
+    ``demanded`` (fill path only) is the set of requested root
+    pointers; items outside it were *prefetched* by the eager closure,
+    and the split feeds the shipped-vs-touched ledgers.
     """
     decoder = XdrDecoder(payload)
     pool = HandlePool.decode(decoder)
@@ -136,11 +151,17 @@ def apply_batch(
         if entry.resident and not overwrite:
             skip_value(decoder, spec, pool)
             runtime.stats.duplicate_entries += 1
+            if demanded is not None:
+                state.cache.note_duplicate_shipment(entry.size)
             continue
         runtime.codec.decode(
             decoder, entry.local_address, spec, pointer_in=pointer_in
         )
         state.cache.mark_resident(entry)
+        if demanded is not None:
+            state.cache.note_shipped(
+                entry, prefetched=pointer not in demanded
+            )
         if overwrite:
             # Dirty data stays part of the modified data set here too,
             # so it keeps travelling with the thread of control.
@@ -195,11 +216,20 @@ def request_data(
     The request names each datum by its bare home address: the home
     space is the message destination and the data type is recorded in
     the home's own typed heap, so neither travels.
+
+    The closure budget and traversal order are the requesting policy's
+    per-request decisions; both travel in the request and each decision
+    is recorded as a ``policy-decision`` trace event for offline
+    conformance checking (SRPC3xx).
     """
+    policy = state.policy
+    budget = policy.request_budget(state)
+    order = policy.closure_order
     encoder = XdrEncoder()
     encoder.pack_string(state.session_id)
     encoder.pack_string(state.ground_site)
-    encoder.pack_uint32(runtime.closure_size)
+    encoder.pack_uint32(budget)
+    encoder.pack_uint32(_ORDER_CODES[order])
     encoder.pack_uint32(len(pointers))
     for pointer in pointers:
         if pointer.space_id != home:
@@ -224,7 +254,33 @@ def request_data(
         )
     batch = decoder.unpack_opaque()
     decoder.expect_done()
-    return apply_batch(runtime, state, batch, overwrite=False)
+    ledger = state.transfer_stats
+    shipped_before = ledger.closure_bytes_shipped
+    prefetch_before = ledger.prefetch_bytes_shipped
+    applied = apply_batch(
+        runtime, state, batch, overwrite=False, demanded=set(pointers)
+    )
+    shipped = ledger.closure_bytes_shipped - shipped_before
+    prefetched = ledger.prefetch_bytes_shipped - prefetch_before
+    runtime.stats.record_event(
+        runtime.clock.now,
+        "policy-decision",
+        f"{runtime.site_id}: request to {home} under policy "
+        f"{policy.name!r} (budget {budget}, {order}; shipped {shipped} B, "
+        f"prefetched {prefetched} B)",
+        data={
+            "space": runtime.site_id,
+            "session": state.session_id,
+            "policy": policy.name,
+            "budget": budget,
+            "order": order,
+            "home": home,
+            "roots": len(pointers),
+            "shipped_bytes": shipped,
+            "prefetch_bytes": prefetched,
+        },
+    )
+    return applied
 
 
 def handle_data_request(
@@ -238,6 +294,7 @@ def handle_data_request(
     session_id = decoder.unpack_string()
     ground_site = decoder.unpack_string()
     budget = decoder.unpack_uint32()
+    order_code = decoder.unpack_uint32()
     count = decoder.unpack_uint32()
     addresses = [decoder.unpack_uint64() for _ in range(count)]
     decoder.expect_done()
@@ -245,6 +302,11 @@ def handle_data_request(
     state.note_participant(message.src)
     encoder = XdrEncoder()
     try:
+        order = _ORDER_NAMES.get(order_code)
+        if order is None:
+            raise SmartRpcError(
+                f"unknown closure order code {order_code!r}"
+            )
         roots = []
         for address in addresses:
             allocation = runtime.heap.allocation_at(address)
@@ -255,8 +317,10 @@ def handle_data_request(
             roots.append(
                 LongPointer(runtime.site_id, address, allocation.type_id)
             )
+        # Budget and order are the requester's; hints are served from
+        # the home's own policy (it knows its data's traversal shape).
         walker = ClosureWalker(
-            runtime, state, budget, order=runtime.closure_order
+            runtime, state, budget, order=order, hints=runtime.policy.hints
         )
         items = walker.walk(roots)
         batch = encode_batch(runtime, state, items)

@@ -26,8 +26,6 @@ import threading
 import time
 from typing import Optional, Tuple
 
-from repro.baselines.eager import FullyEagerRpc
-from repro.baselines.lazy import FullyLazyRpc
 from repro.namesvc.client import TypeResolver
 from repro.namesvc.directory import DirectoryClient, SiteDirectory
 from repro.namesvc.server import TypeNameServer
@@ -35,6 +33,8 @@ from repro.rpc.runtime import RpcRuntime
 from repro.simnet.message import Message, MessageKind
 from repro.simnet.stats import StatsCollector
 from repro.simnet.tracefmt import save_trace
+from repro.smartrpc.policy import POLICY_NAMES, make_policy
+from repro.smartrpc.runtime import SmartRpcRuntime
 from repro.transport.base import RetryPolicy, TransportError
 from repro.transport.tcp import FaultInjector, TcpTransport
 from repro.workloads.hashtable import bind_hash_server, register_hash_types
@@ -67,7 +67,25 @@ _DRAIN_SECONDS = 0.2
 PROPOSED = "proposed"
 FULLY_EAGER = "eager"
 FULLY_LAZY = "lazy"
-METHODS = (FULLY_EAGER, FULLY_LAZY, PROPOSED)
+#: Historical method names plus every transfer-policy preset.  The
+#: historical ``eager`` maps to the ``graphcopy`` policy (the §2 deep
+#: copy baseline this flag always meant); any policy name is accepted
+#: directly.
+METHODS = tuple(
+    [FULLY_EAGER, FULLY_LAZY, PROPOSED]
+    + sorted(set(POLICY_NAMES) - {"lazy"})
+)
+
+
+def _method_policy(method: str, closure_size: int):
+    """Map a host ``--method`` to a transfer policy."""
+    if method == PROPOSED:
+        return make_policy("paper", closure_size=closure_size)
+    if method == FULLY_EAGER:
+        return make_policy("graphcopy")
+    if method in POLICY_NAMES:
+        return make_policy(method)
+    raise ValueError(f"unknown method {method!r}")
 
 
 def make_space(
@@ -114,26 +132,13 @@ def make_space(
         transport.endpoint,
         registry_site if registry is not None else None,
     )
-    if method == PROPOSED:
-        from repro.smartrpc.runtime import SmartRpcRuntime
-
-        runtime: RpcRuntime = SmartRpcRuntime(
-            transport,
-            transport.endpoint,
-            arch,
-            resolver=resolver,
-            closure_size=closure_size,
-        )
-    elif method == FULLY_EAGER:
-        runtime = FullyEagerRpc(
-            transport, transport.endpoint, arch, resolver=resolver
-        )
-    elif method == FULLY_LAZY:
-        runtime = FullyLazyRpc(
-            transport, transport.endpoint, arch, resolver=resolver
-        )
-    else:
-        raise ValueError(f"unknown method {method!r}")
+    runtime: RpcRuntime = SmartRpcRuntime(
+        transport,
+        transport.endpoint,
+        arch,
+        resolver=resolver,
+        policy=_method_policy(method, closure_size),
+    )
     register_tree_types(runtime)
     register_hash_types(runtime)
     register_list_types(runtime)

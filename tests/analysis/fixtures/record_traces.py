@@ -106,6 +106,57 @@ def zero_first_piggyback(events):
     return mutate(events, transform=transform)
 
 
+def mislabel_as_lazy(events):
+    """Declare the run lazy while its decisions still prefetch.
+
+    Budgets are rewritten to 0 in both the declarations and the
+    decisions, so they agree with each other (no SRPC300) — but the
+    recorded prefetched bytes betray the label (SRPC301 only).
+    """
+
+    def transform(event):
+        if event.category == "policy":
+            data = dict(event.data)
+            data.update(policy="lazy", budget=0, strategy="isolated")
+            return dataclasses.replace(event, data=data)
+        if event.category == "policy-decision":
+            data = dict(event.data)
+            data.update(policy="lazy", budget=0)
+            return dataclasses.replace(event, data=data)
+        return None
+
+    return mutate(events, transform=transform)
+
+
+def break_first_budget(events):
+    """Rewrite one decision's budget away from the declared one."""
+    done = False
+
+    def transform(event):
+        nonlocal done
+        if not done and event.category == "policy-decision":
+            done = True
+            data = dict(event.data)
+            data["budget"] = max(1, data.get("budget", 0) // 2)
+            return dataclasses.replace(event, data=data)
+        return None
+
+    return mutate(events, transform=transform)
+
+
+def mislabel_as_graphcopy(events):
+    """Declare graphcopy marshalling over a data-plane trace."""
+
+    def transform(event):
+        if event.category == "policy":
+            data = dict(event.data)
+            data.update(policy="graphcopy", marshalling="graphcopy")
+            return dataclasses.replace(event, data=data)
+        return None
+
+    return mutate(events, transform=transform)
+
+
 def main() -> None:
     OK.mkdir(parents=True, exist_ok=True)
     BAD.mkdir(parents=True, exist_ok=True)
@@ -114,10 +165,20 @@ def main() -> None:
     required = {
         "transfer", "fault", "write",
         "session-end", "write-back", "invalidate",
+        "policy", "policy-decision",
     }
     missing = required - categories
     if missing:
         raise SystemExit(f"recorded trace lacks {sorted(missing)}")
+    if not any(
+        (e.data or {}).get("prefetch_bytes", 0) > 0
+        for e in events
+        if e.category == "policy-decision"
+    ):
+        raise SystemExit(
+            "recorded trace shipped no prefetched bytes; the "
+            "mislabelled-lazy mutant needs some"
+        )
 
     save_trace(events, OK / "tree_session.trace")
     save_trace(
@@ -141,13 +202,19 @@ def main() -> None:
         BAD / "no_write_fault.trace",
     )
     save_trace(zero_first_piggyback(events), BAD / "empty_piggyback.trace")
+    save_trace(mislabel_as_lazy(events), BAD / "mislabelled_lazy.trace")
+    save_trace(break_first_budget(events), BAD / "budget_mismatch.trace")
+    save_trace(
+        mislabel_as_graphcopy(events),
+        BAD / "mislabelled_graphcopy.trace",
+    )
 
     good = dump_trace(events).splitlines()
     good[1] = '{"not": "a trace record"}'
     (BAD / "malformed.trace").write_text(
         "\n".join(good) + "\n", encoding="utf-8"
     )
-    print(f"recorded {len(events)} events into {OK} and 6 mutants into {BAD}")
+    print(f"recorded {len(events)} events into {OK} and 9 mutants into {BAD}")
 
 
 if __name__ == "__main__":

@@ -56,6 +56,8 @@ class TestExitStatus:
             "empty_piggyback.trace", "no_write_back.trace",
             "no_invalidate.trace", "no_write_fault.trace",
             "no_session_end.trace", "malformed.trace",
+            "budget_mismatch.trace", "mislabelled_lazy.trace",
+            "mislabelled_graphcopy.trace",
         ],
     )
     def test_every_bad_trace_fixture_exits_nonzero(self, capsys, trace):

@@ -61,6 +61,7 @@ class TestRecordedSession:
         assert {
             "transfer", "fault", "write",
             "session-end", "write-back", "invalidate",
+            "policy", "policy-decision",
         } <= seen
 
 
@@ -73,6 +74,9 @@ class TestRecordedSession:
         ("no_write_fault.trace", "SRPC104"),
         ("no_session_end.trace", "SRPC105"),
         ("malformed.trace", "SRPC100"),
+        ("budget_mismatch.trace", "SRPC300"),
+        ("mislabelled_lazy.trace", "SRPC301"),
+        ("mislabelled_graphcopy.trace", "SRPC302"),
     ],
 )
 class TestMutatedTraces:
@@ -109,6 +113,43 @@ class TestDroppedInvalidation:
         # The session-end keeps its index: invalidates only follow it.
         assert finding.location.line == end_index + 1
         assert finding.location.file == "mutated.trace"
+
+
+class TestPolicyConformance:
+    """SRPC3xx: recorded decisions against the session's declaration."""
+
+    def _events(self):
+        return load_trace(TRACES / "ok" / "tree_session.trace")
+
+    def test_undeclared_trace_skips_policy_rules(self):
+        # A pre-policy (or conventional) trace has decisions stripped of
+        # their declarations; the SRPC3xx rules make no claim about it.
+        events = [e for e in self._events() if e.category != "policy"]
+        collector = DiagnosticCollector()
+        check_events(events, collector, filename="legacy.trace")
+        assert codes(collector) == []
+
+    def test_mislabelled_lazy_trace_is_caught(self):
+        # The ISSUE's smoke test: an eager run whose trace declares the
+        # lazy policy is flagged — the prefetched bytes betray it.
+        collector = lint_trace(TRACES / "bad" / "mislabelled_lazy.trace")
+        assert collector.has_errors
+        assert codes(collector) == ["SRPC301"]
+        finding = collector.diagnostics[0]
+        assert "prefetched" in finding.message
+
+    def test_budget_mismatch_names_both_budgets(self):
+        collector = lint_trace(TRACES / "bad" / "budget_mismatch.trace")
+        finding = collector.diagnostics[0]
+        assert finding.code == "SRPC300"
+        assert "8192" in finding.message
+
+    def test_graphcopy_declaration_forbids_data_plane(self):
+        collector = lint_trace(
+            TRACES / "bad" / "mislabelled_graphcopy.trace"
+        )
+        assert collector.has_errors
+        assert set(codes(collector)) == {"SRPC302"}
 
 
 class TestConventionalTraces:

@@ -1,10 +1,16 @@
-"""Tests for the fully lazy baseline (callback per dereference)."""
+"""Tests for the fully lazy baseline (callback per dereference).
+
+The lazy method is no longer a class of its own: it is the smart
+runtime under the ``lazy`` transfer policy (closure budget 0, isolated
+placeholder pages), so these tests pin down that the degenerate policy
+point still behaves like the paper's §2 lazy system.
+"""
 
 import pytest
 
-from repro.baselines.lazy import FullyLazyRpc
 from repro.namesvc.client import TypeResolver
 from repro.namesvc.server import TypeNameServer
+from repro.smartrpc.runtime import SmartRpcRuntime
 from repro.workloads.traversal import (
     bind_tree_server,
     expected_search_checksum,
@@ -24,8 +30,12 @@ def pair(network):
     runtimes = []
     for site_id in ("A", "B"):
         site = network.add_site(site_id)
-        runtime = FullyLazyRpc(
-            network, site, SPARC32, resolver=TypeResolver(site, "NS")
+        runtime = SmartRpcRuntime(
+            network,
+            site,
+            SPARC32,
+            resolver=TypeResolver(site, "NS"),
+            policy="lazy",
         )
         register_tree_types(runtime)
         runtimes.append(runtime)
@@ -62,6 +72,19 @@ class TestCallbackPerDereference:
             stub.search(session, root, 1)
         assert network.stats.entries_transferred == 1
 
+    def test_zero_prefetched_closure_bytes(self, pair):
+        """The SRPC301 obligation: a lazy run ships no closure bytes
+        beyond the demanded data."""
+        network, a, b = pair
+        root = build_complete_tree(a, 31)
+        bind_tree_server(b)
+        stub = tree_client(a, "B")
+        with a.session() as session:
+            stub.search(session, root, 20)
+        ledger = network.stats.transfer_ledger
+        assert ledger.prefetch_bytes_shipped == 0
+        assert ledger.closure_bytes_shipped > 0
+
     def test_cached_after_first_dereference(self, pair):
         network, a, b = pair
         root = build_complete_tree(a, 15)
@@ -77,6 +100,14 @@ class TestCallbackPerDereference:
         network, a, b = pair
         assert b.closure_size == 0
         assert b.allocation_strategy == "isolated"
+        assert b.policy.name == "lazy"
+
+    def test_lazy_budget_cannot_be_overridden(self, pair):
+        network, a, b = pair
+        from repro.smartrpc.errors import SmartRpcError
+
+        with pytest.raises(SmartRpcError):
+            b.closure_size = 4096
 
     def test_updates_write_back_like_smart_runtime(self, pair):
         """Lazy is the smart machinery at a degenerate point, so the

@@ -52,4 +52,19 @@ class TestRunning:
             "ablation_closure",
             "ablation_malloc",
             "ablation_hints",
+            "ablation_adaptive",
         }
+
+    def test_policy_flag_reaches_the_experiment(self, capsys):
+        assert main(["fig5", "--quick", "--policy", "adaptive"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_closure_order_flag_reaches_the_experiment(self, capsys):
+        assert main(["fig5", "--quick", "--closure-order", "dfs"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_unsupported_flag_is_skipped_with_a_note(self, capsys):
+        assert main(["table1", "--policy", "adaptive"]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "policy" in captured.err

@@ -1,24 +1,38 @@
-"""Transport equivalence: simnet and TCP runs are indistinguishable.
+"""Transport and policy equivalence properties.
 
-The transport is a carrier, not a participant: for any seeded session
-the smart-RPC layer must produce byte-identical results and identical
-protocol counters whether the frames cross a simulated network or real
-localhost sockets.  Each example runs the same workload through
-``make_world`` twice — once per transport — and diffs everything but
-wall-clock time (simulated seconds and real seconds legitimately
-differ).
+Two independent invariances meet here:
+
+* **Transport equivalence** — the transport is a carrier, not a
+  participant: for any seeded session the smart-RPC layer must produce
+  byte-identical results and identical protocol counters whether the
+  frames cross a simulated network or real localhost sockets.
+* **Policy equivalence** — a transfer policy decides *how much* moves
+  *when*, never *what the procedure computes*: every preset must
+  produce the identical procedure result on every workload, over both
+  transports.
+
+Each example runs the same workload through ``make_world`` across the
+compared axis and diffs everything but wall-clock time (simulated
+seconds and real seconds legitimately differ; traffic legitimately
+differs across policies).
 """
 
+import itertools
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.rpc.session as rpc_session
 from repro.bench.harness import (
     CALLEE,
     METHODS,
+    POLICIES,
     PROPOSED,
     SIMNET,
     TCP,
     make_world,
+    run_hash_call,
     run_tree_call,
 )
 from repro.workloads.linked_list import (
@@ -47,6 +61,17 @@ procedures = st.sampled_from(["search", "search_update"])
 methods = st.sampled_from(METHODS)
 
 
+def _align_session_ids():
+    """Restart the global session counter for one compared pair.
+
+    Session ids embed a process-wide counter; when the compared runs
+    straddle a digit-count boundary (``A#9`` vs ``A#10``), XDR string
+    padding shifts ``bytes_moved`` by one word per message.  Pinning
+    the counter makes the paired sessions byte-identical.
+    """
+    rpc_session._session_numbers = itertools.count(100)
+
+
 def _tree_run(transport, method, nodes, procedure, ratio):
     with make_world(method, transport=transport) as world:
         return run_tree_call(world, nodes, procedure, ratio=ratio)
@@ -59,6 +84,7 @@ class TestTreeEquivalence:
         self, depth, ratio, procedure, method
     ):
         nodes = 2 ** (depth + 1) - 1
+        _align_session_ids()
         simulated = _tree_run(SIMNET, method, nodes, procedure, ratio)
         real = _tree_run(TCP, method, nodes, procedure, ratio)
         for name in COMPARED_FIELDS:
@@ -68,6 +94,7 @@ class TestTreeEquivalence:
     @given(depths, st.integers(min_value=1, max_value=8))
     def test_path_search_equivalent(self, depth, seed):
         nodes = 2 ** (depth + 1) - 1
+        _align_session_ids()
         runs = [
             _tree_run_path(transport, nodes, seed)
             for transport in (SIMNET, TCP)
@@ -83,6 +110,58 @@ def _tree_run_path(transport, nodes, seed):
         )
 
 
+class TestPolicyEquivalence:
+    """Every transfer policy computes the same procedure results."""
+
+    @settings(max_examples=4, deadline=None)
+    @given(depths, ratios, procedures)
+    def test_tree_result_identical_across_policies(
+        self, depth, ratio, procedure
+    ):
+        nodes = 2 ** (depth + 1) - 1
+        results = {}
+        for policy in POLICIES:
+            world = make_world(policy)
+            run = run_tree_call(world, nodes, procedure, ratio=ratio)
+            results[policy] = run.result
+        assert len(set(results.values())) == 1, results
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        st.integers(min_value=8, max_value=80),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_hash_result_identical_across_policies(self, keys, lookups):
+        results = {}
+        for policy in POLICIES:
+            world = make_world(policy)
+            run = run_hash_call(world, keys, lookups)
+            results[policy] = run.result
+        assert len(set(results.values())) == 1, results
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_policy_counters_match_across_transports(self, policy):
+        runs = []
+        _align_session_ids()
+        for transport in (SIMNET, TCP):
+            with make_world(policy, transport=transport) as world:
+                runs.append(
+                    run_tree_call(world, 31, "search", ratio=1.0)
+                )
+        for name in COMPARED_FIELDS:
+            assert getattr(runs[0], name) == getattr(runs[1], name), name
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_hash_counters_match_across_transports(self, policy):
+        runs = []
+        _align_session_ids()
+        for transport in (SIMNET, TCP):
+            with make_world(policy, transport=transport) as world:
+                runs.append(run_hash_call(world, 40, 3))
+        for name in COMPARED_FIELDS:
+            assert getattr(runs[0], name) == getattr(runs[1], name), name
+
+
 class TestMutationEquivalence:
     @settings(max_examples=5, deadline=None)
     @given(
@@ -95,6 +174,7 @@ class TestMutationEquivalence:
     )
     def test_scale_bytes_identical(self, values, factor):
         outcomes = []
+        _align_session_ids()
         for transport in (SIMNET, TCP):
             with make_world(PROPOSED, transport=transport) as world:
                 world.caller.import_interface(LIST_OPS)

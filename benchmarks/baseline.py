@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Record or check the committed benchmark baseline.
+
+The baseline pins the deterministic simnet metrics — round trips
+(``DATA_REQUEST`` exchanges, the paper's Figure 5 "callbacks"), bytes
+shipped, and simulated seconds — for the standard workloads under each
+transfer policy, plus real wall time for reference.  Two files are
+written next to this script:
+
+* ``BENCH_fig4.json`` — the Figure 4/5 workloads (linked list, hash
+  table, search tree) under the ``paper``, ``lazy``, ``adaptive`` and
+  ``pipelined`` presets, with the pipeline's round-trip reduction
+  versus ``paper`` precomputed per workload;
+* ``BENCH_ablation.json`` — the fetch-pipeline knob ablation
+  (coalescing only, prefetch only, both) on the same workloads.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/baseline.py            # re-record
+    PYTHONPATH=src python benchmarks/baseline.py --compare  # CI gate
+
+``--compare`` re-runs the experiments and fails (exit 1) when any
+policy regresses more than 10% on round trips, bytes shipped, or
+simulated seconds against the committed baseline, or when any result
+value differs at all.  ``--policies`` restricts the comparison (the CI
+gate checks ``adaptive`` and ``pipelined``); wall time is recorded but
+never compared — it measures the host, not the code under test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.harness import (
+    World,
+    make_world,
+    run_hash_call,
+    run_list_call,
+    run_tree_call,
+)
+from repro.smartrpc.policy import PipelinedPolicy
+
+HERE = Path(__file__).resolve().parent
+FIG4_BASELINE = HERE / "BENCH_fig4.json"
+ABLATION_BASELINE = HERE / "BENCH_ablation.json"
+
+#: Relative regression allowed before --compare fails.
+TOLERANCE = 0.10
+
+WORKLOADS: List[Tuple[str, Callable[[World], object]]] = [
+    ("linked_list_4096_total", lambda w: run_list_call(w, 4096)),
+    ("hashtable_2000x40_lookup", lambda w: run_hash_call(w, 2000, 40)),
+    ("tree_8191_search_0.5", lambda w: run_tree_call(
+        w, 8191, "search", ratio=0.5
+    )),
+]
+
+FIG4_POLICIES = ("paper", "lazy", "adaptive", "pipelined")
+
+#: The knob ablation: each variant enables one pipeline mechanism.
+ABLATION_VARIANTS: Dict[str, Callable[[], PipelinedPolicy]] = {
+    "coalesce_only": lambda: PipelinedPolicy(
+        name="coalesce_only", batch_window=32,
+        max_inflight=0, prefetch_depth=0,
+    ),
+    "prefetch_only": lambda: PipelinedPolicy(
+        name="prefetch_only", batch_window=0,
+        max_inflight=1, prefetch_depth=4,
+    ),
+    "full_pipeline": lambda: PipelinedPolicy(name="full_pipeline"),
+}
+
+#: Metrics gated by --compare (higher is worse for all three).
+COMPARED = ("round_trips", "bytes_shipped", "sim_seconds")
+
+
+def measure(method, workload: Callable[[World], object]) -> Dict:
+    """One fresh world, one measured call, one metrics record."""
+    world = make_world(method)
+    started = time.perf_counter()
+    run = workload(world)
+    wall = time.perf_counter() - started
+    return {
+        "result": run.result,
+        "round_trips": run.callbacks,
+        "messages": run.messages,
+        "bytes_shipped": run.bytes_moved,
+        "sim_seconds": round(run.seconds, 9),
+        "wall_seconds": round(wall, 4),
+        "round_trips_saved": run.round_trips_saved,
+        "piggyback_hits": run.piggyback_hits,
+    }
+
+
+def record_fig4() -> Dict:
+    runs: Dict[str, Dict[str, Dict]] = {}
+    for name, workload in WORKLOADS:
+        runs[name] = {
+            policy: measure(policy, workload)
+            for policy in FIG4_POLICIES
+        }
+    reductions = {}
+    for name, by_policy in runs.items():
+        paper = by_policy["paper"]["round_trips"]
+        reductions[name] = {
+            policy: round(
+                1.0 - by_policy[policy]["round_trips"] / paper, 4
+            )
+            for policy in FIG4_POLICIES
+            if policy != "paper" and paper
+        }
+    return {
+        "meta": {"transport": "simnet", "tolerance": TOLERANCE},
+        "runs": runs,
+        "round_trip_reduction_vs_paper": reductions,
+    }
+
+
+def record_ablation() -> Dict:
+    runs: Dict[str, Dict[str, Dict]] = {}
+    for name, workload in WORKLOADS:
+        runs[name] = {
+            variant: measure(factory(), workload)
+            for variant, factory in ABLATION_VARIANTS.items()
+        }
+    return {
+        "meta": {"transport": "simnet", "tolerance": TOLERANCE},
+        "runs": runs,
+    }
+
+
+def compare(
+    baseline: Dict, current: Dict, label: str, policies=None
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass)."""
+    problems = []
+    for workload, by_policy in baseline["runs"].items():
+        for policy, expected in by_policy.items():
+            if policies and policy not in policies:
+                continue
+            actual = (
+                current["runs"].get(workload, {}).get(policy)
+            )
+            if actual is None:
+                problems.append(
+                    f"{label}: {workload}/{policy} missing from rerun"
+                )
+                continue
+            if actual["result"] != expected["result"]:
+                problems.append(
+                    f"{label}: {workload}/{policy} result changed "
+                    f"{expected['result']} -> {actual['result']}"
+                )
+            for metric in COMPARED:
+                before, after = expected[metric], actual[metric]
+                if after > before * (1.0 + TOLERANCE):
+                    problems.append(
+                        f"{label}: {workload}/{policy} {metric} "
+                        f"regressed {before} -> {after} "
+                        f"(>{TOLERANCE:.0%} tolerance)"
+                    )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="check against the committed baseline instead of rewriting",
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated policy/variant subset to compare "
+        "(default: everything in the baseline)",
+    )
+    args = parser.parse_args(argv)
+    policies = (
+        {name.strip() for name in args.policies.split(",")}
+        if args.policies
+        else None
+    )
+    fig4 = record_fig4()
+    ablation = record_ablation()
+    if not args.compare:
+        FIG4_BASELINE.write_text(json.dumps(fig4, indent=2) + "\n")
+        ABLATION_BASELINE.write_text(
+            json.dumps(ablation, indent=2) + "\n"
+        )
+        print(f"wrote {FIG4_BASELINE.name} and {ABLATION_BASELINE.name}")
+        for workload, cuts in fig4["round_trip_reduction_vs_paper"].items():
+            print(f"  {workload}: round-trip cut vs paper {cuts}")
+        return 0
+    problems = []
+    for path, current in (
+        (FIG4_BASELINE, fig4),
+        (ABLATION_BASELINE, ablation),
+    ):
+        if not path.exists():
+            problems.append(f"{path.name}: no committed baseline")
+            continue
+        baseline = json.loads(path.read_text())
+        problems.extend(
+            compare(baseline, current, path.name, policies=policies)
+        )
+    if problems:
+        print("baseline comparison FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    scope = ", ".join(sorted(policies)) if policies else "all policies"
+    print(f"baseline comparison passed ({scope})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

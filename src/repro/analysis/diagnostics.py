@@ -123,6 +123,10 @@ _CATALOG: List[Rule] = [
     Rule("SRPC302", Severity.ERROR,
          "session declared graphcopy marshalling (no data plane) but "
          "recorded data-plane requests"),
+    Rule("SRPC310", Severity.ERROR,
+         "data-batch event contradicts the fetch-pipeline discipline "
+         "(uncovered fault, overlapping in-flight fetch, or absorb of "
+         "an unissued fetch)"),
 ]
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _CATALOG}

@@ -26,7 +26,12 @@ checked against the declaration:
   closure bytes — a "lazy" run that prefetches is mislabelled
   (SRPC301);
 * graphcopy marshalling has no data plane at all, so any data request
-  contradicts it (SRPC302).
+  contradicts it (SRPC302);
+* ``data-batch`` events (the fetch pipeline's issue/absorb records)
+  must honour the pipeline discipline: every fault a batch claims to
+  coalesce must appear as an earlier ``fault`` event, no page may be
+  covered by two in-flight fetches at once, and an ``absorb`` must
+  name a fetch that was actually issued (SRPC310).
 
 Traces without policy declarations (conventional or pre-policy runs)
 skip the SRPC3xx rules entirely.
@@ -57,6 +62,7 @@ PROTOCOL_CATEGORIES = (
     "invalidate",
     "policy",
     "policy-decision",
+    "data-batch",
 )
 
 
@@ -71,6 +77,8 @@ def check_events(
         return SourceLocation(file=filename, line=index + 1)
 
     write_faults = set()  # (space, session, page) seen as write faults
+    fault_pages = set()  # (space, session, page) seen as any fault
+    inflight = {}  # (space, session, fetch_id) -> set of covered pages
     first_transfer = {}  # session -> index of its first transfer
     ended = set()  # sessions with a session-end record
 
@@ -104,10 +112,15 @@ def check_events(
                     session=session,
                 )
         elif event.category == "fault":
+            fault_pages.add((data.get("space"), session, data.get("page")))
             if data.get("kind") == "write":
                 write_faults.add(
                     (data.get("space"), session, data.get("page"))
                 )
+        elif event.category == "data-batch":
+            _check_data_batch(
+                data, fault_pages, inflight, collector, loc(index)
+            )
         elif event.category == "write":
             key = (data.get("space"), session, data.get("page"))
             if key not in write_faults:
@@ -200,6 +213,77 @@ def _check_session_end(
             session=session,
             missing=list(missing),
         )
+
+
+def _check_data_batch(
+    data: dict,
+    fault_pages: set,
+    inflight: dict,
+    collector: DiagnosticCollector,
+    location: SourceLocation,
+) -> None:
+    """SRPC310: one fetch-pipeline record against its discipline.
+
+    ``inflight`` maps (space, session, fetch_id) to the set of cache
+    pages the outstanding exchange covers; it is maintained across the
+    whole trace replay so overlaps and unissued absorbs are caught in
+    event order.
+    """
+    space = data.get("space")
+    session = data.get("session")
+    kind = data.get("kind")
+    fetch_id = data.get("fetch_id")
+    pages = data.get("pages") or []
+    faults = data.get("faults") or []
+    for page in faults:
+        if (space, session, page) not in fault_pages:
+            collector.emit(
+                "SRPC310",
+                f"space {space!r} recorded a {kind} data-batch "
+                f"(fetch #{fetch_id}) claiming to cover a fault on "
+                f"page {page} of session {session!r}, but no such "
+                "fault was recorded",
+                location,
+                hint="a data-batch may only coalesce faults that "
+                "actually happened; the fault event must precede the "
+                "batch that serves it",
+                session=session,
+                page=page,
+            )
+    if kind == "absorb":
+        if inflight.pop((space, session, fetch_id), None) is None:
+            collector.emit(
+                "SRPC310",
+                f"space {space!r} absorbed fetch #{fetch_id} in "
+                f"session {session!r} but no such fetch was in flight",
+                location,
+                hint="an absorb must name an earlier prefetch "
+                "data-batch that was not already absorbed",
+                session=session,
+            )
+        return
+    covered = {
+        page
+        for (key_space, key_session, _), fetch_pages in inflight.items()
+        if key_space == space and key_session == session
+        for page in fetch_pages
+    }
+    overlap = sorted(set(pages) & covered)
+    if overlap:
+        collector.emit(
+            "SRPC310",
+            f"space {space!r} issued a {kind} data-batch "
+            f"(fetch #{fetch_id}) in session {session!r} for page(s) "
+            f"{', '.join(str(p) for p in overlap)} already covered by "
+            "an in-flight fetch",
+            location,
+            hint="the pending table must suppress duplicate fetches: "
+            "a fault on an in-flight page absorbs the outstanding "
+            "exchange instead of issuing a new one",
+            session=session,
+        )
+    if kind == "prefetch":
+        inflight[(space, session, fetch_id)] = set(pages)
 
 
 def _check_policy_decision(

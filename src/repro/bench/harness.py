@@ -48,7 +48,12 @@ from repro.workloads.hashtable import (
     hash_client,
     register_hash_types,
 )
-from repro.workloads.linked_list import bind_list_server, register_list_types
+from repro.workloads.linked_list import (
+    bind_list_server,
+    build_list,
+    list_client,
+    register_list_types,
+)
 from repro.workloads.traversal import (
     TREE_OPS,
     bind_tree_server,
@@ -278,6 +283,11 @@ class ExperimentRun:
     closure_touched: int = 0
     prefetch_shipped: int = 0
     prefetch_touched: int = 0
+    # Fetch-pipeline wins (zero unless the policy enables the
+    # pipeline): demand round trips that never happened, and faults
+    # absorbed by an already-in-flight exchange.
+    round_trips_saved: int = 0
+    piggyback_hits: int = 0
 
     def row(self) -> tuple:
         """Compact tuple for table rendering."""
@@ -296,6 +306,8 @@ class ExperimentRun:
             "closure_bytes_touched": self.closure_touched,
             "prefetch_bytes_shipped": self.prefetch_shipped,
             "prefetch_bytes_touched": self.prefetch_touched,
+            "round_trips_saved": self.round_trips_saved,
+            "piggyback_hits": self.piggyback_hits,
         }
 
 
@@ -364,6 +376,35 @@ def run_hash_call(
     return _finish_run(world, seconds, result)
 
 
+def run_list_call(
+    world: World,
+    num_nodes: int,
+    procedure: str = "total",
+    factor: int = 3,
+) -> ExperimentRun:
+    """Build a linked list on the caller and measure one remote call.
+
+    The pointer-chasing workload with no fan-out: each fill discovers
+    exactly one frontier pointer, so round trips scale linearly with
+    list length divided by closure budget — the fetch pipeline's
+    prefetch mechanism is what collapses them.
+    """
+    head = build_list(world.caller, list(range(num_nodes)))
+    stub = list_client(world.caller, CALLEE)
+    world.stats.reset()
+    clock = world.network.clock
+    with world.caller.session() as session:
+        watch = Stopwatch(clock)
+        if procedure == "total":
+            result = stub.total(session, head)
+        elif procedure == "scale":
+            result = stub.scale(session, head, factor)
+        else:
+            raise ValueError(f"unknown list procedure {procedure!r}")
+        seconds = watch.elapsed
+    return _finish_run(world, seconds, result)
+
+
 def _finish_run(world: World, seconds: float, result: int) -> ExperimentRun:
     stats = world.stats
     ledger = stats.transfer_ledger
@@ -381,4 +422,6 @@ def _finish_run(world: World, seconds: float, result: int) -> ExperimentRun:
         closure_touched=ledger.closure_bytes_touched,
         prefetch_shipped=ledger.prefetch_bytes_shipped,
         prefetch_touched=ledger.prefetch_bytes_touched,
+        round_trips_saved=ledger.round_trips_saved,
+        piggyback_hits=ledger.piggyback_hits,
     )

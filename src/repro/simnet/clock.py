@@ -82,6 +82,37 @@ class SimClock:
         """Rewind to time zero (used between benchmark repetitions)."""
         self._now = 0.0
 
+    # -- overlap modelling ----------------------------------------------------
+    #
+    # The simulator runs everything on one Python thread, so work that a
+    # real system performs *concurrently* (an asynchronous prefetch
+    # exchange overlapping ground-thread execution) is simulated
+    # sequentially and then re-timed: mark the instant the overlapped
+    # work starts, run it (the clock accrues its full cost), rewind to
+    # the mark, and later join at ``max(now, completion instant)``.
+
+    def mark(self) -> float:
+        """The current instant, for a later :meth:`rewind`."""
+        return self._now
+
+    def rewind(self, instant: float) -> None:
+        """Move the clock back to a previously marked instant.
+
+        Used only to model overlapped work: the charges stay accounted
+        in the interval that was simulated, but the foreground timeline
+        resumes from the mark.
+        """
+        if instant < 0 or instant > self._now:
+            raise ValueError(
+                f"cannot rewind clock to {instant!r} (now {self._now!r})"
+            )
+        self._now = instant
+
+    def join(self, instant: float) -> None:
+        """Wait until ``instant``: advance if it is still in the future."""
+        if instant > self._now:
+            self._now = instant
+
 
 class Stopwatch:
     """Measures an interval of simulated time against a :class:`SimClock`."""

@@ -50,6 +50,14 @@ class TransferLedger:
     closure_bytes_touched: int = 0
     prefetch_bytes_shipped: int = 0
     prefetch_bytes_touched: int = 0
+    #: Fetch-pipeline wins: demand round trips that never happened.
+    #: ``round_trips_saved`` counts cache pages that became resident
+    #: without issuing their own data request (covered by a coalesced
+    #: batch or an absorbed prefetch); ``piggyback_hits`` counts faults
+    #: that were satisfied by absorbing an already-in-flight exchange
+    #: instead of issuing a new one.
+    round_trips_saved: int = 0
+    piggyback_hits: int = 0
 
     def record_shipped(self, size: int, prefetched: bool) -> None:
         """Count one entry's bytes arriving on the fill path."""
@@ -63,6 +71,14 @@ class TransferLedger:
         if prefetched:
             self.prefetch_bytes_touched += size
 
+    def record_saved_round_trips(self, pages: int) -> None:
+        """Count demand exchanges the pipeline made unnecessary."""
+        self.round_trips_saved += pages
+
+    def record_piggyback_hit(self) -> None:
+        """Count one fault absorbed by an in-flight exchange."""
+        self.piggyback_hits += 1
+
     def as_dict(self) -> Dict[str, int]:
         """Counter mapping for JSON reporting."""
         return {
@@ -70,6 +86,8 @@ class TransferLedger:
             "closure_bytes_touched": self.closure_bytes_touched,
             "prefetch_bytes_shipped": self.prefetch_bytes_shipped,
             "prefetch_bytes_touched": self.prefetch_bytes_touched,
+            "round_trips_saved": self.round_trips_saved,
+            "piggyback_hits": self.piggyback_hits,
         }
 
 
@@ -179,6 +197,8 @@ class StatsCollector:
             f"(touched: {self.transfer_ledger.closure_bytes_touched}), "
             f"prefetched: {self.transfer_ledger.prefetch_bytes_shipped} "
             f"(touched: {self.transfer_ledger.prefetch_bytes_touched})",
+            f"round trips saved: {self.transfer_ledger.round_trips_saved} "
+            f"(piggyback hits: {self.transfer_ledger.piggyback_hits})",
         ]
         return "\n".join(lines)
 

@@ -259,6 +259,23 @@ class CacheManager:
         last = (entry.end - 1) // self.page_size
         return list(range(first, last + 1))
 
+    def pages_of(self, entry: AllocEntry) -> List[int]:
+        """Every cache page an entry occupies (spans cover several)."""
+        return self._entry_pages(entry)
+
+    def incomplete_pages(self) -> Set[int]:
+        """Pages still holding non-resident placeholders.
+
+        Each is a future demand round trip unless the fetch pipeline
+        completes it first — the quantity behind the transfer ledger's
+        ``round_trips_saved``.
+        """
+        return {
+            number
+            for number, page in self._pages.items()
+            if page.entries and not page.complete
+        }
+
     def finish_datum(self) -> None:
         """Seal open pages after one datum's pointers were swizzled.
 
@@ -319,20 +336,13 @@ class CacheManager:
         transferred at this time" — grouped by home space; under the
         single-home heuristic that is one request message.
 
-        The page is closed to further placeholder allocation first:
-        the arriving data's own pointer fields swizzle into *new*
-        placeholders, and letting those land on the page being filled
-        would keep it incomplete forever.
+        The actual requesting is the session's
+        :class:`~repro.smartrpc.pipeline.FetchPipeline`: a pass-through
+        to the classic one-request-per-home fill when every pipeline
+        knob is zero, and the coalescing/piggyback/prefetch data plane
+        under the ``pipelined`` policy.
         """
-        page.closed = True
-        wanted: Dict[str, List[LongPointer]] = {}
-        for entry in page.entries:
-            if not entry.resident:
-                wanted.setdefault(entry.pointer.space_id, []).append(
-                    entry.pointer
-                )
-        for home, pointers in wanted.items():
-            self.runtime.request_data(self.state, home, pointers)
+        self.state.pipeline.fill_page(self, page)
         missing = [e.pointer for e in page.entries if not e.resident]
         if missing:
             raise SmartRpcError(

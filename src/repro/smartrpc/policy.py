@@ -23,6 +23,7 @@ Presets map onto the paper's systems:
 ``graphcopy`` rpcgen-style deep copy (§2 eager method)
 ``hinted``   fixed closure restricted by programmer hints (§6)
 ``adaptive`` per-session budget tuned from live waste feedback
+``pipelined`` fixed closure + fault-coalescing/prefetching pipeline
 ========== ==================================================
 
 The ``adaptive`` policy closes the loop the paper leaves open in §6
@@ -81,6 +82,21 @@ class TransferPolicy:
     #: decisions against this declaration.
     declared_budget: Optional[int] = None
 
+    #: Fetch-pipeline knobs (see :mod:`repro.smartrpc.pipeline`).  All
+    #: zero means the pipeline is a pass-through: one demand request per
+    #: fault, byte-identical wire behaviour to the pre-pipeline runtime
+    #: (what the ``paper``/``lazy`` presets promise).
+    #:
+    #: ``batch_window``: how many additional known-but-not-resident
+    #: long-pointer targets a demand request may coalesce as extra
+    #: roots.  ``max_inflight``: how many asynchronous prefetch
+    #: exchanges may be outstanding at once.  ``prefetch_depth``: how
+    #: many closure slices (multiples of the request budget) one
+    #: prefetch exchange asks for.
+    batch_window: int = 0
+    max_inflight: int = 0
+    prefetch_depth: int = 0
+
     def fresh(self) -> "TransferPolicy":
         """A per-runtime copy of this policy."""
         return copy.copy(self)
@@ -98,6 +114,9 @@ class TransferPolicy:
             "coherency": self.coherency,
             "order": self.closure_order,
             "strategy": self.allocation_strategy,
+            "batch_window": self.batch_window,
+            "max_inflight": self.max_inflight,
+            "prefetch_depth": self.prefetch_depth,
         }
 
 
@@ -232,6 +251,44 @@ class AdaptivePolicy(TransferPolicy):
         return budget
 
 
+class PipelinedPolicy(FixedPolicy):
+    """Fixed closure budget driving an active fetch pipeline.
+
+    Demand requests use the fixed budget like ``paper``; on top of
+    that, each demand coalesces up to ``batch_window`` other pending
+    placeholders homed at the same space, and after a fill the pipeline
+    keeps up to ``max_inflight`` asynchronous prefetch exchanges in
+    flight, each asking for ``prefetch_depth`` budgets' worth of the
+    remaining frontier.  The declared budget is ``None`` because the
+    prefetch exchanges legitimately request more than the demand
+    budget (SRPC300 only binds fixed declarations).
+    """
+
+    #: Prefetch requests scale the budget, so no fixed declaration.
+    declared_budget = None
+
+    def __init__(
+        self,
+        budget: int = DEFAULT_CLOSURE_SIZE,
+        name: str = "pipelined",
+        batch_window: int = 32,
+        max_inflight: int = 1,
+        prefetch_depth: int = 4,
+        **overrides,
+    ) -> None:
+        super().__init__(budget, name=name, **overrides)
+        for knob, value in (
+            ("batch_window", batch_window),
+            ("max_inflight", max_inflight),
+            ("prefetch_depth", prefetch_depth),
+        ):
+            if value < 0:
+                raise SmartRpcError(f"bad {knob} {value!r}")
+        self.batch_window = batch_window
+        self.max_inflight = max_inflight
+        self.prefetch_depth = prefetch_depth
+
+
 def _lazy(budget: Optional[int] = None, **overrides) -> TransferPolicy:
     if budget not in (None, 0):
         raise SmartRpcError(
@@ -296,6 +353,13 @@ def _adaptive(budget: Optional[int] = None, **overrides) -> TransferPolicy:
     return policy
 
 
+def _pipelined(budget: Optional[int] = None, **overrides) -> TransferPolicy:
+    return PipelinedPolicy(
+        DEFAULT_CLOSURE_SIZE if budget is None else budget,
+        **overrides,
+    )
+
+
 _PRESETS = {
     "lazy": _lazy,
     "eager": _eager,
@@ -303,6 +367,7 @@ _PRESETS = {
     "hinted": _hinted,
     "graphcopy": _graphcopy,
     "adaptive": _adaptive,
+    "pipelined": _pipelined,
     "fixed": lambda budget=None, **kw: FixedPolicy(
         DEFAULT_CLOSURE_SIZE if budget is None else budget, **kw
     ),

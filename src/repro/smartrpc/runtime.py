@@ -50,6 +50,7 @@ from repro.smartrpc.long_pointer import (
     decode_long_pointer,
     encode_long_pointer,
 )
+from repro.smartrpc.pipeline import FetchPipeline
 from repro.smartrpc.policy import (
     DEFAULT_CLOSURE_SIZE,
     GRAPHCOPY,
@@ -83,6 +84,7 @@ class SmartSessionState(SessionState):
             runtime, self, strategy=self.policy.allocation_strategy
         )
         self.swizzler = Swizzler(runtime, self)
+        self.pipeline = FetchPipeline(runtime, self)
         self.relayed_dirty: Set[AllocEntry] = set()
         self.pending_allocs: List[AllocEntry] = []
         self.pending_frees: List[LongPointer] = []
@@ -302,6 +304,7 @@ class SmartRpcRuntime(RpcRuntime):
 
     def _teardown_session(self, state: SessionState) -> None:
         assert isinstance(state, SmartSessionState)
+        state.pipeline.drain()
         if self.policy.coherency:
             coherency.end_session(self, state)
 
@@ -312,6 +315,7 @@ class SmartRpcRuntime(RpcRuntime):
             return
         state.closed = True
         if isinstance(state, SmartSessionState):
+            state.pipeline.drain()
             state.cache.invalidate()
             state.relayed_dirty.clear()
 
@@ -319,6 +323,10 @@ class SmartRpcRuntime(RpcRuntime):
 
     def _make_piggyback(self, state: SessionState, dst: str) -> bytes:
         assert isinstance(state, SmartSessionState)
+        # Activity is about to transfer: while another space runs it
+        # may mutate its home data, so unabsorbed prefetched replies
+        # would go stale — drop them before control leaves.
+        state.pipeline.discard_pending()
         if not self.policy.coherency:
             return b""
         remote_heap.flush(self, state)
@@ -339,6 +347,9 @@ class SmartRpcRuntime(RpcRuntime):
 
     def flush_memory_batch(self, state: SmartSessionState) -> None:
         """Flush pending extended_malloc/free operations now."""
+        # The batch can free home data an in-flight prefetch covers;
+        # settle the pending table before mutating remote heaps.
+        state.pipeline.discard_pending()
         remote_heap.flush(self, state)
 
     # -- pointer marshalling hooks --------------------------------------------
@@ -414,7 +425,7 @@ class SmartRpcRuntime(RpcRuntime):
         if not self.policy.batch_memory_ops:
             # Ablation mode: the paper's rejected design — one remote
             # message per allocation instead of batching.
-            remote_heap.flush(self, state)
+            self.flush_memory_batch(state)
         return pointer
 
     def extended_free(self, session: Any, pointer: int) -> None:
@@ -429,4 +440,4 @@ class SmartRpcRuntime(RpcRuntime):
             )
         remote_heap.extended_free(self, state, pointer)
         if not self.policy.batch_memory_ops:
-            remote_heap.flush(self, state)
+            self.flush_memory_batch(state)

@@ -202,29 +202,19 @@ def skip_value(decoder: XdrDecoder, spec: TypeSpec, pool: HandlePool) -> None:
 # -- the data-request protocol ------------------------------------------------
 
 
-def request_data(
-    runtime: "SmartRpcRuntime",
+def encode_request_payload(
     state: "SmartSessionState",
     home: str,
     pointers: Sequence[LongPointer],
-) -> int:
-    """Fetch ``pointers`` (plus eager closure) from their home space.
-
-    This is the "callback" of the proposed method that Figure 5 counts:
-    one request per faulted page per home space.
+    budget: int,
+    order: str,
+) -> bytes:
+    """Encode one DATA_REQUEST payload (no time charged here).
 
     The request names each datum by its bare home address: the home
     space is the message destination and the data type is recorded in
     the home's own typed heap, so neither travels.
-
-    The closure budget and traversal order are the requesting policy's
-    per-request decisions; both travel in the request and each decision
-    is recorded as a ``policy-decision`` trace event for offline
-    conformance checking (SRPC3xx).
     """
-    policy = state.policy
-    budget = policy.request_budget(state)
-    order = policy.closure_order
     encoder = XdrEncoder()
     encoder.pack_string(state.session_id)
     encoder.pack_string(state.ground_site)
@@ -237,14 +227,26 @@ def request_data(
                 f"{pointer!r} requested from {home!r}, not its home"
             )
         encoder.pack_uint64(pointer.address)
-    payload = encoder.getvalue()
-    runtime.clock.advance(runtime.cost_model.codec_cost(len(payload)))
-    reply = runtime.site.send(
-        home,
-        MessageKind.DATA_REQUEST,
-        payload,
-        reply_kind=MessageKind.DATA_REPLY,
-    )
+    return encoder.getvalue()
+
+
+def apply_reply(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    home: str,
+    reply: bytes,
+    requested: Sequence[LongPointer],
+    demanded: Set[LongPointer],
+    budget: int,
+    order: str,
+) -> int:
+    """Decode and install one DATA_REPLY; record the policy decision.
+
+    ``requested`` is every root named in the request; ``demanded`` the
+    subset the program actually faulted on (coalesced or prefetched
+    roots outside it score as prefetch in the ledgers).  Charges the
+    reply's codec cost to the clock — callers charge the request side.
+    """
     runtime.clock.advance(runtime.cost_model.codec_cost(len(reply)))
     decoder = XdrDecoder(reply)
     status = decoder.unpack_uint32()
@@ -254,11 +256,12 @@ def request_data(
         )
     batch = decoder.unpack_opaque()
     decoder.expect_done()
+    policy = state.policy
     ledger = state.transfer_stats
     shipped_before = ledger.closure_bytes_shipped
     prefetch_before = ledger.prefetch_bytes_shipped
     applied = apply_batch(
-        runtime, state, batch, overwrite=False, demanded=set(pointers)
+        runtime, state, batch, overwrite=False, demanded=demanded
     )
     shipped = ledger.closure_bytes_shipped - shipped_before
     prefetched = ledger.prefetch_bytes_shipped - prefetch_before
@@ -275,12 +278,51 @@ def request_data(
             "budget": budget,
             "order": order,
             "home": home,
-            "roots": len(pointers),
+            "roots": len(requested),
             "shipped_bytes": shipped,
             "prefetch_bytes": prefetched,
         },
     )
     return applied
+
+
+def request_data(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    home: str,
+    pointers: Sequence[LongPointer],
+) -> int:
+    """Fetch ``pointers`` (plus eager closure) from their home space.
+
+    This is the "callback" of the proposed method that Figure 5 counts:
+    one request per faulted page per home space.
+
+    The closure budget and traversal order are the requesting policy's
+    per-request decisions; both travel in the request and each decision
+    is recorded as a ``policy-decision`` trace event for offline
+    conformance checking (SRPC3xx).
+    """
+    policy = state.policy
+    budget = policy.request_budget(state)
+    order = policy.closure_order
+    payload = encode_request_payload(state, home, pointers, budget, order)
+    runtime.clock.advance(runtime.cost_model.codec_cost(len(payload)))
+    reply = runtime.site.send(
+        home,
+        MessageKind.DATA_REQUEST,
+        payload,
+        reply_kind=MessageKind.DATA_REPLY,
+    )
+    return apply_reply(
+        runtime,
+        state,
+        home,
+        reply,
+        pointers,
+        set(pointers),
+        budget,
+        order,
+    )
 
 
 def handle_data_request(

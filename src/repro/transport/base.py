@@ -53,6 +53,14 @@ class ReplyCache:
     Eviction is least-recently-*used*: a hit refreshes the entry's
     recency, so a hot exchange id being retransmitted is not evicted
     before cold ones merely because it was inserted earlier.
+
+    Two kinds of "hit" are kept apart.  ``retransmission_hits`` is the
+    at-most-once metric proper: a duplicate *request* answered from the
+    cache instead of re-running the handler.  ``piggyback_hits`` counts
+    faults the fetch pipeline satisfied by absorbing an exchange that
+    was already in flight (see :mod:`repro.smartrpc.pipeline`) — no
+    duplicate request ever reached this cache, so folding them into the
+    retransmission counter would inflate the at-most-once metrics.
     """
 
     def __init__(self, limit: int = 4096) -> None:
@@ -60,14 +68,24 @@ class ReplyCache:
             raise ValueError(f"bad reply cache limit {limit!r}")
         self.limit = limit
         self._entries: "OrderedDict[Hashable, bytes]" = OrderedDict()
-        self.hits = 0
+        self.retransmission_hits = 0
+        self.piggyback_hits = 0
+
+    @property
+    def hits(self) -> int:
+        """Legacy alias for :attr:`retransmission_hits`."""
+        return self.retransmission_hits
+
+    def note_piggyback(self) -> None:
+        """Count one fault absorbed by an in-flight exchange."""
+        self.piggyback_hits += 1
 
     def get(self, key: Hashable) -> Optional[bytes]:
         """The cached reply for ``key``, refreshing its recency."""
         reply = self._entries.get(key)
         if reply is not None:
             self._entries.move_to_end(key)
-            self.hits += 1
+            self.retransmission_hits += 1
         return reply
 
     def put(self, key: Hashable, reply: bytes) -> None:

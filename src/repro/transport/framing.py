@@ -131,7 +131,24 @@ Frame = Union[Hello, Welcome, Goodbye, Request, Reply, Ping, Pong]
 
 def encode_frame(frame: Frame) -> bytes:
     """Serialize ``frame`` as length prefix + body."""
-    encoder = XdrEncoder()
+    encoder = XdrEncoder.pooled()
+    try:
+        return bytes(encode_frame_into(frame, encoder))
+    finally:
+        encoder.release()
+
+
+def encode_frame_into(frame: Frame, encoder: XdrEncoder) -> memoryview:
+    """Serialize ``frame`` into ``encoder``; return the wire image.
+
+    The whole wire image — length prefix and body — is packed into the
+    encoder's single buffer, so a ``Request``/``Reply`` payload is
+    copied exactly once between the caller and the socket.  The
+    returned view aliases the encoder's buffer: write (or copy) it
+    before reusing the encoder.
+    """
+    start = encoder.size
+    encoder.pack_uint32(0)  # length prefix, patched below
     if isinstance(frame, Hello):
         encoder.pack_uint32(FrameType.HELLO)
         encoder.pack_uint32(frame.version)
@@ -165,16 +182,18 @@ def encode_frame(frame: Frame) -> bytes:
         encoder.pack_uint64(frame.token)
     else:
         raise FramingError(f"cannot encode frame {frame!r}")
-    body = encoder.getvalue()
-    if len(body) > MAX_FRAME_BYTES:
+    body_length = encoder.size - start - LENGTH_PREFIX.size
+    if body_length > MAX_FRAME_BYTES:
         raise FramingError(
-            f"frame body of {len(body)} bytes exceeds the "
+            f"frame body of {body_length} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
-    return LENGTH_PREFIX.pack(len(body)) + body
+    image = encoder.getbuffer()[start:]
+    LENGTH_PREFIX.pack_into(image, 0, body_length)
+    return image
 
 
-def decode_frame(body: bytes) -> Frame:
+def decode_frame(body) -> Frame:
     """Parse one frame body (the bytes after the length prefix)."""
     decoder = XdrDecoder(body)
     try:
@@ -241,7 +260,8 @@ def split_buffer(buffer: bytes) -> Tuple[Union[Frame, None], bytes]:
     end = LENGTH_PREFIX.size + length
     if len(buffer) < end:
         return None, buffer
-    return decode_frame(buffer[LENGTH_PREFIX.size : end]), buffer[end:]
+    body = memoryview(buffer)[LENGTH_PREFIX.size : end]
+    return decode_frame(body), buffer[end:]
 
 
 def frame_length(prefix: bytes) -> int:

@@ -42,12 +42,44 @@ PointerOut = Callable[[int, str], None]
 PointerIn = Callable[[str], int]
 
 
+def raw_identity_size(spec: TypeSpec, arch: Architecture):
+    """Bytes per value when native memory *is* the canonical form.
+
+    Returns ``None`` when the two representations differ.  Identity
+    holds for big-endian 4/8-byte scalars (XDR is big-endian and packs
+    in 4-byte units) and for opaque blocks whose length is already a
+    multiple of 4 (so no inter-element padding is owed).  Arrays of
+    such elements can then be shipped with one bulk copy instead of a
+    per-element encode/decode loop — the page codec of the zero-copy
+    wire path.
+    """
+    if isinstance(spec, ScalarType):
+        size = spec.kind.size
+        if size >= 4 and arch.byteorder == "big":
+            return size
+        return None
+    if isinstance(spec, OpaqueType):
+        if spec.length % 4 == 0:
+            return spec.length
+        return None
+    return None
+
+
 class RawCodec:
     """Converts typed raw memory to/from the canonical form."""
 
     def __init__(self, space: AddressSpace, arch: Architecture) -> None:
         self.space = space
         self.arch = arch
+
+    def _bulk_array_bytes(self, spec: ArrayType):
+        """Total byte count for a bulk array copy, or ``None``."""
+        if spec.count == 0:
+            return None
+        unit = raw_identity_size(spec.element, self.arch)
+        if unit is None or unit != spec.stride(self.arch):
+            return None
+        return unit * spec.count
 
     # -- encoding (native memory -> canonical) ------------------------------
 
@@ -71,6 +103,10 @@ class RawCodec:
             pointer = self.read_pointer(address)
             pointer_out(pointer, spec.target_type_id)
         elif isinstance(spec, ArrayType):
+            bulk = self._bulk_array_bytes(spec)
+            if bulk is not None:
+                encoder.pack_fixed_opaque(self.space.read_raw(address, bulk))
+                return
             stride = spec.stride(self.arch)
             for index in range(spec.count):
                 self.encode(
@@ -126,12 +162,18 @@ class RawCodec:
             self.space.write_raw(address, spec.pack_raw(value, self.arch))
         elif isinstance(spec, OpaqueType):
             self.space.write_raw(
-                address, decoder.unpack_fixed_opaque(spec.length)
+                address, decoder.unpack_fixed_view(spec.length)
             )
         elif isinstance(spec, PointerType):
             pointer = pointer_in(spec.target_type_id)
             self.write_pointer(address, pointer)
         elif isinstance(spec, ArrayType):
+            bulk = self._bulk_array_bytes(spec)
+            if bulk is not None:
+                self.space.write_raw(
+                    address, decoder.unpack_fixed_view(bulk)
+                )
+                return
             stride = spec.stride(self.arch)
             for index in range(spec.count):
                 self.decode(

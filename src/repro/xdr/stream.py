@@ -6,25 +6,82 @@ data-transfer batches, coherency traffic — is produced by
 form is big-endian with every item padded to a multiple of 4 bytes,
 matching the XDR the original system used, so encoded sizes (and thus
 the simulated wire costs) are realistic.
+
+The streams are built for a zero-copy wire path:
+
+* :class:`XdrEncoder` writes into one growable ``bytearray`` (grown
+  geometrically, packed in place with ``struct.pack_into``) instead of
+  accumulating per-field ``bytes`` chunks; :meth:`XdrEncoder.getbuffer`
+  exposes the encoded region as a ``memoryview`` so framing can copy a
+  payload onto the wire exactly once.  Buffers can be pooled across
+  messages via :meth:`XdrEncoder.pooled` / :meth:`XdrEncoder.release`.
+* :class:`XdrDecoder` reads through a ``memoryview`` with
+  ``unpack_from`` — no intermediate slice objects — and accepts
+  ``bytes``, ``bytearray`` or ``memoryview`` input, so nested decoders
+  (frame -> batch -> item) can share one buffer.  The ``*_view``
+  readers hand back sub-views without copying.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import List, Union
 
 from repro.xdr.errors import XdrError
 
 _UINT32_MAX = 0xFFFFFFFF
 _UINT64_MAX = 0xFFFFFFFFFFFFFFFF
 
+_U32 = struct.Struct(">I")
+_I32 = struct.Struct(">i")
+_U64 = struct.Struct(">Q")
+_I64 = struct.Struct(">q")
+_F32 = struct.Struct(">f")
+_F64 = struct.Struct(">d")
+
+_ZEROS = bytes(4)
+
+#: Free list of encoder buffers (see :meth:`XdrEncoder.pooled`).  Plain
+#: list append/pop are atomic under the GIL, which is all the thread
+#: safety the transport's handler pool needs.
+_BUFFER_POOL: List[bytearray] = []
+_BUFFER_POOL_LIMIT = 16
+_POOLED_BUFFER_BYTES = 8192
+
+Readable = Union[bytes, bytearray, memoryview]
+
 
 class XdrEncoder:
-    """Append-only canonical stream writer."""
+    """Append-only canonical stream writer over one growable buffer.
 
-    def __init__(self) -> None:
-        self._chunks: List[bytes] = []
-        self._size = 0
+    Fields are packed straight onto a single ``bytearray`` (amortised
+    in-place growth), so a message costs one buffer instead of one
+    ``bytes`` chunk per field plus a join.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, buffer: bytearray = None) -> None:
+        self._buf = bytearray() if buffer is None else buffer
+
+    @classmethod
+    def pooled(cls) -> "XdrEncoder":
+        """An encoder backed by a recycled buffer (see :meth:`release`)."""
+        try:
+            buffer = _BUFFER_POOL.pop()
+        except IndexError:
+            buffer = bytearray()
+        return cls(buffer=buffer)
+
+    def release(self) -> None:
+        """Return the backing buffer to the pool; the encoder is dead."""
+        buffer, self._buf = self._buf, bytearray()
+        try:
+            del buffer[:]
+        except BufferError:
+            return  # a live view still pins the buffer; leave it to GC
+        if len(_BUFFER_POOL) < _BUFFER_POOL_LIMIT:
+            _BUFFER_POOL.append(buffer)
 
     # -- integers -----------------------------------------------------------
 
@@ -32,25 +89,25 @@ class XdrEncoder:
         """Append an unsigned 32-bit integer."""
         if not 0 <= value <= _UINT32_MAX:
             raise XdrError(f"uint32 out of range: {value!r}")
-        self._append(struct.pack(">I", value))
+        self._buf += _U32.pack(value)
 
     def pack_int32(self, value: int) -> None:
         """Append a signed 32-bit integer."""
         if not -(2**31) <= value < 2**31:
             raise XdrError(f"int32 out of range: {value!r}")
-        self._append(struct.pack(">i", value))
+        self._buf += _I32.pack(value)
 
     def pack_uint64(self, value: int) -> None:
         """Append an unsigned 64-bit integer (XDR "unsigned hyper")."""
         if not 0 <= value <= _UINT64_MAX:
             raise XdrError(f"uint64 out of range: {value!r}")
-        self._append(struct.pack(">Q", value))
+        self._buf += _U64.pack(value)
 
     def pack_int64(self, value: int) -> None:
         """Append a signed 64-bit integer (XDR "hyper")."""
         if not -(2**63) <= value < 2**63:
             raise XdrError(f"int64 out of range: {value!r}")
-        self._append(struct.pack(">q", value))
+        self._buf += _I64.pack(value)
 
     def pack_bool(self, value: bool) -> None:
         """Append a boolean as a 32-bit 0/1."""
@@ -60,20 +117,23 @@ class XdrEncoder:
 
     def pack_float(self, value: float) -> None:
         """Append an IEEE single."""
-        self._append(struct.pack(">f", value))
+        self._buf += _F32.pack(value)
 
     def pack_double(self, value: float) -> None:
         """Append an IEEE double."""
-        self._append(struct.pack(">d", value))
+        self._buf += _F64.pack(value)
 
     # -- byte sequences -------------------------------------------------------
 
-    def pack_fixed_opaque(self, data: bytes) -> None:
+    def pack_fixed_opaque(self, data: Readable) -> None:
         """Append fixed-length opaque data, padded to 4 bytes."""
-        self._append(data)
-        self._pad()
+        buf = self._buf
+        buf += data
+        padding = -len(buf) % 4
+        if padding:
+            buf += _ZEROS[:padding]
 
-    def pack_opaque(self, data: bytes) -> None:
+    def pack_opaque(self, data: Readable) -> None:
         """Append variable-length opaque data (length prefix + padding)."""
         self.pack_uint32(len(data))
         self.pack_fixed_opaque(data)
@@ -85,48 +145,57 @@ class XdrEncoder:
     # -- result ---------------------------------------------------------------
 
     def getvalue(self) -> bytes:
-        """The canonical byte string written so far."""
-        return b"".join(self._chunks)
+        """The canonical byte string written so far (one copy)."""
+        return bytes(self._buf)
+
+    def getbuffer(self) -> memoryview:
+        """Zero-copy view of the encoded region.
+
+        The view aliases the live buffer: consume (or copy) it before
+        encoding anything further or releasing the encoder.
+        """
+        return memoryview(self._buf)
 
     @property
     def size(self) -> int:
         """Bytes written so far."""
-        return self._size
+        return len(self._buf)
 
-    def _append(self, data: bytes) -> None:
-        self._chunks.append(data)
-        self._size += len(data)
-
-    def _pad(self) -> None:
-        remainder = self._size % 4
-        if remainder:
-            self._append(b"\x00" * (4 - remainder))
+    def reset(self) -> None:
+        """Rewind to empty, keeping the backing buffer object."""
+        del self._buf[:]
 
 
 class XdrDecoder:
-    """Sequential canonical stream reader."""
+    """Sequential canonical stream reader over a ``memoryview``."""
 
-    def __init__(self, data: bytes) -> None:
-        self._data = data
+    __slots__ = ("_view", "_len", "_cursor")
+
+    def __init__(self, data: Readable) -> None:
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        if view.format != "B":
+            view = view.cast("B")
+        self._view = view
+        self._len = len(view)
         self._cursor = 0
 
     # -- integers -----------------------------------------------------------
 
     def unpack_uint32(self) -> int:
         """Read an unsigned 32-bit integer."""
-        return struct.unpack(">I", self._take(4))[0]
+        return _U32.unpack_from(self._view, self._advance(4))[0]
 
     def unpack_int32(self) -> int:
         """Read a signed 32-bit integer."""
-        return struct.unpack(">i", self._take(4))[0]
+        return _I32.unpack_from(self._view, self._advance(4))[0]
 
     def unpack_uint64(self) -> int:
         """Read an unsigned 64-bit integer."""
-        return struct.unpack(">Q", self._take(8))[0]
+        return _U64.unpack_from(self._view, self._advance(8))[0]
 
     def unpack_int64(self) -> int:
         """Read a signed 64-bit integer."""
-        return struct.unpack(">q", self._take(8))[0]
+        return _I64.unpack_from(self._view, self._advance(8))[0]
 
     def unpack_bool(self) -> bool:
         """Read a boolean."""
@@ -139,58 +208,72 @@ class XdrDecoder:
 
     def unpack_float(self) -> float:
         """Read an IEEE single."""
-        return struct.unpack(">f", self._take(4))[0]
+        return _F32.unpack_from(self._view, self._advance(4))[0]
 
     def unpack_double(self) -> float:
         """Read an IEEE double."""
-        return struct.unpack(">d", self._take(8))[0]
+        return _F64.unpack_from(self._view, self._advance(8))[0]
 
     # -- byte sequences -------------------------------------------------------
 
     def unpack_fixed_opaque(self, length: int) -> bytes:
-        """Read fixed-length opaque data (and its padding)."""
-        data = self._take(length)
+        """Read fixed-length opaque data (and its padding): one copy."""
+        return bytes(self.unpack_fixed_view(length))
+
+    def unpack_fixed_view(self, length: int) -> memoryview:
+        """Zero-copy view of fixed-length opaque data (and its padding).
+
+        The view aliases the decoder's input buffer; copy it if it must
+        outlive the buffer.
+        """
+        offset = self._advance(length)
+        data = self._view[offset : offset + length]
         self._skip_pad(length)
         return data
 
     def unpack_opaque(self) -> bytes:
         """Read variable-length opaque data."""
-        length = self.unpack_uint32()
-        return self.unpack_fixed_opaque(length)
+        return self.unpack_fixed_opaque(self.unpack_uint32())
+
+    def unpack_opaque_view(self) -> memoryview:
+        """Zero-copy view of variable-length opaque data."""
+        return self.unpack_fixed_view(self.unpack_uint32())
 
     def unpack_string(self) -> str:
         """Read a UTF-8 string."""
-        return self.unpack_opaque().decode("utf-8")
+        return str(self.unpack_fixed_view(self.unpack_uint32()), "utf-8")
 
     # -- cursor ---------------------------------------------------------------
 
     @property
     def remaining(self) -> int:
         """Bytes left unread."""
-        return len(self._data) - self._cursor
+        return self._len - self._cursor
 
     def done(self) -> bool:
         """Whether the whole stream has been consumed."""
-        return self.remaining == 0
+        return self._cursor == self._len
 
     def expect_done(self) -> None:
         """Raise unless the stream is fully consumed (framing check)."""
         if not self.done():
             raise XdrError(f"{self.remaining} trailing bytes in XDR stream")
 
-    def _take(self, size: int) -> bytes:
-        if self._cursor + size > len(self._data):
+    def _advance(self, size: int) -> int:
+        """Consume ``size`` bytes; return their offset (no slicing)."""
+        offset = self._cursor
+        if offset + size > self._len:
             raise XdrError(
                 f"XDR underflow: need {size} bytes, "
-                f"have {self.remaining}"
+                f"have {self._len - offset}"
             )
-        data = self._data[self._cursor : self._cursor + size]
-        self._cursor += size
-        return data
+        self._cursor = offset + size
+        return offset
 
     def _skip_pad(self, length: int) -> None:
-        remainder = length % 4
-        if remainder:
-            pad = self._take(4 - remainder)
-            if pad != b"\x00" * len(pad):
-                raise XdrError(f"nonzero XDR padding {pad!r}")
+        padding = -length % 4
+        if padding:
+            offset = self._advance(padding)
+            pad = self._view[offset : offset + padding]
+            if pad != _ZEROS[:padding]:
+                raise XdrError(f"nonzero XDR padding {bytes(pad)!r}")

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Regenerate the fetch-pipeline trace fixtures (SRPC310).
+
+Runs one deterministic linked-list traversal under the ``pipelined``
+policy — which coalesces demand requests, keeps prefetch exchanges in
+flight, and absorbs faults into them — and records its trace.  The
+good trace lands in ``traces/ok/pipelined_session.trace``; each bad
+trace is the same session with one ``data-batch`` record corrupted so
+exactly the SRPC310 rule fires:
+
+* ``batch_uncovered_fault.trace`` — a demand batch claims to coalesce
+  a fault that never happened;
+* ``batch_overlapping_prefetch.trace`` — a second prefetch is issued
+  for pages an in-flight fetch already covers;
+* ``batch_absorb_unissued.trace`` — an absorb names a fetch id that
+  was never issued.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/record_pipeline_traces.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.bench.harness import CALLEE, make_world
+from repro.simnet.tracefmt import save_trace
+from repro.workloads.linked_list import build_list, list_client
+
+HERE = Path(__file__).resolve().parent
+OK = HERE / "traces" / "ok"
+BAD = HERE / "traces" / "bad"
+
+
+def record_session():
+    """One pipelined session whose trace carries data-batch records."""
+    world = make_world("pipelined", trace=True)
+    head = build_list(world.caller, list(range(2048)))
+    stub = list_client(world.caller, CALLEE)
+    with world.caller.session() as session:
+        stub.total(session, head)
+    events = list(world.stats.events)
+    kinds = {
+        (event.data or {}).get("kind")
+        for event in events
+        if event.category == "data-batch"
+    }
+    missing = {"demand", "prefetch", "absorb"} - kinds
+    if missing:
+        raise SystemExit(f"recorded session never exercised {missing}")
+    return events
+
+
+def _mutate_batch(events, kind, **changes):
+    """Copy ``events`` with the first ``kind`` data-batch's data edited."""
+    out = []
+    done = False
+    for event in events:
+        data = event.data or {}
+        if (
+            not done
+            and event.category == "data-batch"
+            and data.get("kind") == kind
+        ):
+            out.append(
+                dataclasses.replace(event, data={**data, **changes})
+            )
+            done = True
+        else:
+            out.append(event)
+    if not done:
+        raise SystemExit(f"no {kind} data-batch to mutate")
+    return out
+
+
+def main():
+    OK.mkdir(parents=True, exist_ok=True)
+    BAD.mkdir(parents=True, exist_ok=True)
+    events = record_session()
+    save_trace(events, OK / "pipelined_session.trace")
+    save_trace(
+        _mutate_batch(events, "demand", faults=[9999]),
+        BAD / "batch_uncovered_fault.trace",
+    )
+    first_prefetch = next(
+        event.data
+        for event in events
+        if event.category == "data-batch"
+        and (event.data or {}).get("kind") == "prefetch"
+    )
+    # A second prefetch for the same pages while the first is in
+    # flight: splice a copy with a fresh fetch id right after it.
+    overlapping = []
+    for event in events:
+        overlapping.append(event)
+        if event.data is first_prefetch:
+            overlapping.append(
+                dataclasses.replace(
+                    event, data={**first_prefetch, "fetch_id": 9999}
+                )
+            )
+    save_trace(overlapping, BAD / "batch_overlapping_prefetch.trace")
+    save_trace(
+        _mutate_batch(events, "absorb", fetch_id=424242),
+        BAD / "batch_absorb_unissued.trace",
+    )
+
+
+if __name__ == "__main__":
+    main()

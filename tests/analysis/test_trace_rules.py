@@ -77,6 +77,9 @@ class TestRecordedSession:
         ("budget_mismatch.trace", "SRPC300"),
         ("mislabelled_lazy.trace", "SRPC301"),
         ("mislabelled_graphcopy.trace", "SRPC302"),
+        ("batch_uncovered_fault.trace", "SRPC310"),
+        ("batch_overlapping_prefetch.trace", "SRPC310"),
+        ("batch_absorb_unissued.trace", "SRPC310"),
     ],
 )
 class TestMutatedTraces:
@@ -113,6 +116,38 @@ class TestDroppedInvalidation:
         # The session-end keeps its index: invalidates only follow it.
         assert finding.location.line == end_index + 1
         assert finding.location.file == "mutated.trace"
+
+
+class TestPipelineConformance:
+    """SRPC310: data-batch records against the pipeline discipline."""
+
+    def test_recorded_pipelined_session_is_clean(self):
+        trace = TRACES / "ok" / "pipelined_session.trace"
+        assert codes(lint_trace(trace)) == []
+
+    def test_recorded_session_exercises_every_batch_kind(self):
+        events = load_trace(TRACES / "ok" / "pipelined_session.trace")
+        kinds = {
+            (event.data or {}).get("kind")
+            for event in events
+            if event.category == "data-batch"
+        }
+        assert {"demand", "prefetch", "absorb"} <= kinds
+
+    def test_uncovered_fault_names_the_page(self):
+        collector = lint_trace(
+            TRACES / "bad" / "batch_uncovered_fault.trace"
+        )
+        assert collector.has_errors
+        finding = collector.diagnostics[0]
+        assert "9999" in finding.message
+
+    def test_overlap_names_the_contested_pages(self):
+        collector = lint_trace(
+            TRACES / "bad" / "batch_overlapping_prefetch.trace"
+        )
+        assert collector.has_errors
+        assert "already covered" in collector.diagnostics[0].message
 
 
 class TestPolicyConformance:

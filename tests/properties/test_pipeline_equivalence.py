@@ -1,0 +1,145 @@
+"""Fetch-pipeline equivalence properties.
+
+The pipeline is an optimisation, not a semantics change: coalescing,
+duplicate suppression and async prefetch may only alter *when* data
+moves, never what a procedure computes or what the heaps hold when the
+session is over.  Every example here runs one workload twice — once
+under the classic ``paper`` policy (every pipeline knob zero, the
+byte-identical pass-through) and once under ``pipelined`` — and
+requires:
+
+* identical procedure results,
+* identical final heap state (the mutated list read back from the
+  caller's heap after write-back),
+* and, for the pipeline itself, identical protocol counters whether
+  the exchanges cross the simulated network or real TCP sockets.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.rpc.session as rpc_session
+from repro.bench.harness import (
+    SIMNET,
+    TCP,
+    make_world,
+    run_hash_call,
+    run_list_call,
+)
+from repro.workloads.linked_list import build_list, list_client, read_list
+from repro.bench.harness import CALLEE
+
+#: Counter fields that must match when the same pipelined session runs
+#: over simnet and TCP (wall time excluded by construction).
+COMPARED_FIELDS = (
+    "callbacks",
+    "messages",
+    "bytes_moved",
+    "page_faults",
+    "write_faults",
+    "entries",
+    "result",
+    "round_trips_saved",
+    "piggyback_hits",
+)
+
+lengths = st.integers(min_value=1, max_value=600)
+factors = st.integers(min_value=2, max_value=9)
+transports = st.sampled_from([SIMNET, TCP])
+
+
+def _align_session_ids():
+    # Session ids embed a process-wide counter; pin it so paired runs
+    # produce identically-sized frames (see test_transport_equivalence).
+    rpc_session._session_numbers = itertools.count(500)
+
+
+def _scale_run(method, transport, length, factor):
+    """Run the mutating list workload; return (result, final heap)."""
+    _align_session_ids()
+    with make_world(method, transport=transport) as world:
+        head = build_list(world.caller, list(range(length)))
+        stub = list_client(world.caller, CALLEE)
+        with world.caller.session() as session:
+            result = stub.scale(session, head, factor)
+        # Session over: write-back has landed, so the caller's own
+        # heap is the final state the pipeline must not corrupt.
+        return result, read_list(world.caller, head)
+
+
+class TestPipelineOnVsOff:
+    @settings(max_examples=8, deadline=None)
+    @given(lengths)
+    def test_readonly_list_result_identical(self, length):
+        runs = {}
+        for method in ("paper", "pipelined"):
+            _align_session_ids()
+            world = make_world(method)
+            runs[method] = run_list_call(world, length)
+        assert runs["paper"].result == runs["pipelined"].result
+        assert (
+            runs["pipelined"].callbacks <= runs["paper"].callbacks
+        ), "the pipeline may never add round trips"
+
+    @settings(max_examples=6, deadline=None)
+    @given(lengths, factors, transports)
+    def test_mutating_list_final_heap_identical(
+        self, length, factor, transport
+    ):
+        baseline = _scale_run("paper", transport, length, factor)
+        pipelined = _scale_run("pipelined", transport, length, factor)
+        assert baseline[0] == pipelined[0]
+        assert baseline[1] == pipelined[1]
+        assert baseline[1] == [value * factor for value in range(length)]
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=400),
+        st.integers(min_value=1, max_value=20),
+        transports,
+    )
+    def test_hash_lookup_result_identical(self, keys, lookups, transport):
+        results = {}
+        for method in ("paper", "pipelined"):
+            _align_session_ids()
+            with make_world(method, transport=transport) as world:
+                results[method] = run_hash_call(world, keys, lookups)
+        assert results["paper"].result == results["pipelined"].result
+
+
+class TestPipelineAcrossTransports:
+    """The pipeline's own behaviour must not depend on the transport.
+
+    The simulated overlap (clock rewind) and the executor-thread
+    prefetch are different mechanisms; every counter they produce must
+    still agree, or the simnet figures would not predict the real
+    system.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(lengths)
+    def test_pipelined_list_counters_equal(self, length):
+        runs = []
+        for transport in (SIMNET, TCP):
+            _align_session_ids()
+            with make_world("pipelined", transport=transport) as world:
+                runs.append(run_list_call(world, length))
+        for name in COMPARED_FIELDS:
+            assert getattr(runs[0], name) == getattr(runs[1], name), name
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=300),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_pipelined_hash_counters_equal(self, keys, lookups):
+        runs = []
+        for transport in (SIMNET, TCP):
+            _align_session_ids()
+            with make_world("pipelined", transport=transport) as world:
+                runs.append(run_hash_call(world, keys, lookups))
+        for name in COMPARED_FIELDS:
+            assert getattr(runs[0], name) == getattr(runs[1], name), name

@@ -55,6 +55,7 @@ class TestPresets:
             "hinted",
             "lazy",
             "paper",
+            "pipelined",
         )
 
     def test_paper_is_the_fixed_default_closure(self):
@@ -112,6 +113,9 @@ class TestPresets:
             "coherency": True,
             "order": BREADTH_FIRST,
             "strategy": SINGLE_HOME,
+            "batch_window": 0,
+            "max_inflight": 0,
+            "prefetch_depth": 0,
         }
 
 

@@ -127,6 +127,16 @@ _CATALOG: List[Rule] = [
          "data-batch event contradicts the fetch-pipeline discipline "
          "(uncovered fault, overlapping in-flight fetch, or absorb of "
          "an unissued fetch)"),
+    # -- fault-tolerance conformance rules (SRPC32x) ----------------------
+    Rule("SRPC320", Severity.ERROR,
+         "session aborted at a space without reaping its orphaned "
+         "state (pages and table entries leak)"),
+    Rule("SRPC321", Severity.ERROR,
+         "write-back commit at a space without a preceding staged "
+         "prepare for the same session"),
+    Rule("SRPC322", Severity.ERROR,
+         "space kept using a session's data plane after reaping it "
+         "(fault, write or data-batch activity after orphan-reaped)"),
 ]
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _CATALOG}

@@ -1,4 +1,4 @@
-"""Trace conformance checker (rules SRPC100-SRPC105, SRPC300-SRPC302).
+"""Trace conformance checker (SRPC1xx, SRPC30x, SRPC310, SRPC32x).
 
 Replays a recorded simulation trace — a JSON-lines log written by
 :func:`repro.simnet.tracefmt.save_trace` — and verifies the coherency
@@ -36,6 +36,24 @@ checked against the declaration:
 Traces without policy declarations (conventional or pre-policy runs)
 skip the SRPC3xx rules entirely.
 
+Crash traces (the fault-tolerance layer, DESIGN.md §12) add three
+obligations:
+
+* a space that records a ``session-abort`` must also record the
+  matching ``orphan-reaped`` — aborting without rolling back leaks
+  protected pages and allocation-table entries (SRPC320);
+* a ``writeback-phase`` commit at a space requires that same space's
+  earlier prepare for the session — committing unstaged data is
+  exactly the half-update the two-phase protocol exists to prevent
+  (SRPC321);
+* after a space reaps a session, no further ``fault`` / ``write`` /
+  ``data-batch`` activity may appear at that space for it — reaping a
+  live session would strand the program mid-access (SRPC322).
+
+A session that aborted is excused from the clean-shutdown rules: its
+``session-end`` obligations (SRPC102/SRPC103) and the open-session
+warning (SRPC105) do not apply.
+
 Diagnostics point at ``tracefile:line`` where the line number is the
 offending record's position in the log.
 """
@@ -63,6 +81,9 @@ PROTOCOL_CATEGORIES = (
     "policy",
     "policy-decision",
     "data-batch",
+    "session-abort",
+    "orphan-reaped",
+    "writeback-phase",
 )
 
 
@@ -81,14 +102,25 @@ def check_events(
     inflight = {}  # (space, session, fetch_id) -> set of covered pages
     first_transfer = {}  # session -> index of its first transfer
     ended = set()  # sessions with a session-end record
+    prepared = set()  # (space, session) with a staged writeback-prepare
+    reaped_so_far = set()  # (space, session) reaped, in event order
 
     # Policy declarations, gathered up front so a decision is checked
     # against its space's declaration regardless of record order.
+    # The abort/reap sets are likewise gathered up front: within one
+    # space the reap follows its abort, but merged multi-space crash
+    # traces interleave spaces arbitrarily.
     declared = {}  # (space, session) -> the "policy" event data
+    aborted_sessions = set()  # session ids with any session-abort
+    reaped_anywhere = set()  # (space, session) with an orphan-reaped
     for event in events:
+        data = event.data or {}
         if event.category == "policy":
-            data = event.data or {}
             declared[(data.get("space"), data.get("session"))] = data
+        elif event.category == "session-abort":
+            aborted_sessions.add(data.get("session"))
+        elif event.category == "orphan-reaped":
+            reaped_anywhere.add((data.get("space"), data.get("session")))
 
     for index, event in enumerate(events):
         data = event.data or {}
@@ -112,16 +144,25 @@ def check_events(
                     session=session,
                 )
         elif event.category == "fault":
+            _check_liveness(
+                "fault", data, reaped_so_far, collector, loc(index)
+            )
             fault_pages.add((data.get("space"), session, data.get("page")))
             if data.get("kind") == "write":
                 write_faults.add(
                     (data.get("space"), session, data.get("page"))
                 )
         elif event.category == "data-batch":
+            _check_liveness(
+                "data-batch", data, reaped_so_far, collector, loc(index)
+            )
             _check_data_batch(
                 data, fault_pages, inflight, collector, loc(index)
             )
         elif event.category == "write":
+            _check_liveness(
+                "write", data, reaped_so_far, collector, loc(index)
+            )
             key = (data.get("space"), session, data.get("page"))
             if key not in write_faults:
                 collector.emit(
@@ -138,9 +179,48 @@ def check_events(
                 )
         elif event.category == "session-end":
             ended.add(session)
-            _check_session_end(
-                events, index, data, collector, loc(index)
-            )
+            if session not in aborted_sessions:
+                # An aborted session's clean-shutdown obligations are
+                # waived: the rollback happened via abort/reap instead.
+                _check_session_end(
+                    events, index, data, collector, loc(index)
+                )
+        elif event.category == "session-abort":
+            ended.add(session)
+            space = data.get("space")
+            if (space, session) not in reaped_anywhere:
+                collector.emit(
+                    "SRPC320",
+                    f"space {space!r} aborted session {session!r} "
+                    f"({data.get('reason', 'unknown reason')}) but "
+                    "never reaped its orphaned state",
+                    loc(index),
+                    hint="an abort must roll the session back: unmap "
+                    "its protected pages, free its allocation-table "
+                    "entries and discard its staged write-back",
+                    session=session,
+                    space=space,
+                )
+        elif event.category == "orphan-reaped":
+            reaped_so_far.add((data.get("space"), session))
+        elif event.category == "writeback-phase":
+            space = data.get("space")
+            phase = data.get("phase")
+            if phase == "prepare":
+                prepared.add((space, session))
+            elif phase == "commit" and (space, session) not in prepared:
+                collector.emit(
+                    "SRPC321",
+                    f"space {space!r} committed a write-back for "
+                    f"session {session!r} without a staged prepare",
+                    loc(index),
+                    hint="the two-phase write-back applies only "
+                    "batches every dirty home acknowledged staging; "
+                    "a commit without its prepare is exactly the "
+                    "half-update the protocol exists to prevent",
+                    session=session,
+                    space=space,
+                )
         elif event.category == "policy-decision":
             declaration = declared.get((data.get("space"), session))
             if declaration is None:
@@ -155,6 +235,8 @@ def check_events(
         first_transfer.items(), key=lambda item: item[1]
     ):
         if session not in ended:
+            # ``ended`` counts aborts too: a session torn down by the
+            # fault-tolerance layer did not merely trail off.
             collector.emit(
                 "SRPC105",
                 f"session {session!r} transferred activity but never "
@@ -212,6 +294,30 @@ def _check_session_end(
             "every participant must drop its cached data",
             session=session,
             missing=list(missing),
+        )
+
+
+def _check_liveness(
+    category: str,
+    data: dict,
+    reaped_so_far: set,
+    collector: DiagnosticCollector,
+    location: SourceLocation,
+) -> None:
+    """SRPC322: no data-plane activity at a space after it reaped."""
+    space = data.get("space")
+    session = data.get("session")
+    if (space, session) in reaped_so_far:
+        collector.emit(
+            "SRPC322",
+            f"space {space!r} recorded {category} activity for "
+            f"session {session!r} after reaping it",
+            location,
+            hint="the orphan reaper must only fire on sessions whose "
+            "peers are actually dead; activity after the reap means "
+            "a live session was torn down under the program",
+            session=session,
+            space=space,
         )
 
 

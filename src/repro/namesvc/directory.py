@@ -239,6 +239,19 @@ class DirectoryClient:
         )
         return decode_lookup_reply(reply, site_id)
 
+    def liveness_ages(self) -> Dict[str, float]:
+        """Heartbeat ages for every registered site — the reaper feed.
+
+        A site absent from the map has deregistered, crashed before
+        ever registering, or been expired; the orphan reaper
+        (:meth:`SmartRpcRuntime.reap_orphans`) treats missing exactly
+        like over-age.
+        """
+        return {
+            site_id: age
+            for site_id, (_host, _port, age) in self.list().items()
+        }
+
     def list(self) -> Dict[str, Tuple[str, int, float]]:
         """All registered sites as ``site_id -> (host, port, age)``."""
         decoder = self._exchange(MessageKind.SITE_LIST, b"")

@@ -228,6 +228,11 @@ class RpcRuntime:
     def end_session(self, state: SessionState) -> None:
         """Close a session this runtime grounds."""
         if state.session_id not in self._sessions:
+            if state.closed:
+                # Aborted or reaped under us (deadline, dead peer);
+                # everything was already rolled back, so the context
+                # manager's exit has nothing left to do.
+                return
             raise SessionError(
                 f"session {state.session_id!r} is not open here"
             )
@@ -238,7 +243,7 @@ class RpcRuntime:
             )
         self._teardown_session(state)
         state.closed = True
-        del self._sessions[state.session_id]
+        self._sessions.pop(state.session_id, None)
 
     def session_state(self, session_id: str) -> SessionState:
         """Look up the local state of an open session."""
@@ -306,8 +311,9 @@ class RpcRuntime:
         )
         payload = encoder.getvalue()
         self.clock.advance(self.cost_model.codec_cost(len(payload)))
-        reply = self.site.send(
-            dst, MessageKind.CALL, payload, reply_kind=MessageKind.REPLY
+        reply = self._session_send(
+            state, dst, MessageKind.CALL, payload,
+            reply_kind=MessageKind.REPLY,
         )
         self.clock.advance(self.cost_model.codec_cost(len(reply)))
         decoder = XdrDecoder(reply)
@@ -425,6 +431,23 @@ class RpcRuntime:
         self, session_id: str, ground_site: str
     ) -> SessionState:
         return SessionState(session_id, ground_site)
+
+    def _session_send(
+        self,
+        state: SessionState,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        reply_kind: Optional[MessageKind] = None,
+    ) -> bytes:
+        """One session-scoped exchange.
+
+        The smart runtime overrides this with the guarded send that
+        enforces session deadlines and per-exchange timeouts and turns
+        a dead peer into a typed :class:`SessionAbortedError` instead
+        of an unbounded hang.
+        """
+        return self.site.send(dst, kind, payload, reply_kind=reply_kind)
 
     def _teardown_session(self, state: SessionState) -> None:
         """Ground-side end-of-session work; conventional RPC has none."""

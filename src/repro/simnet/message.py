@@ -29,6 +29,14 @@ class MessageKind(enum.Enum):
     DATA_REPLY = "data_reply"
     WRITE_BACK = "write_back"
     WRITE_BACK_ACK = "write_back_ack"
+    # Two-phase session-end write-back (DESIGN.md §12): every dirty
+    # home stages its batch on prepare; only when every prepare is
+    # acknowledged does the ground commit, so a crash between phases
+    # never leaves one home space half-updated.
+    WRITEBACK_PREPARE = "writeback_prepare"
+    WRITEBACK_PREPARE_ACK = "writeback_prepare_ack"
+    WRITEBACK_COMMIT = "writeback_commit"
+    WRITEBACK_COMMIT_ACK = "writeback_commit_ack"
     INVALIDATE = "invalidate"
     MEMORY_BATCH = "memory_batch"
     MEMORY_BATCH_REPLY = "memory_batch_reply"
@@ -45,6 +53,14 @@ class MessageKind(enum.Enum):
     # Process-host control plane (repro.transport.host).
     SHUTDOWN = "shutdown"
     SHUTDOWN_ACK = "shutdown_ack"
+    # Readiness barrier + remote scenario driver (crash-matrix tests):
+    # STATUS blocks until the host reaches a requested liveness state;
+    # RUN_SESSION asks a host to act as the ground site of a scripted
+    # session (so caller-crash cells can kill a real process).
+    STATUS = "status"
+    STATUS_REPLY = "status_reply"
+    RUN_SESSION = "run_session"
+    RUN_REPLY = "run_reply"
 
 
 _message_ids = itertools.count(1)

@@ -86,8 +86,14 @@ class Site(Endpoint):
         kind: MessageKind,
         payload: bytes,
         reply_kind: Optional[MessageKind] = None,
+        timeout: Optional[float] = None,
     ) -> bytes:
-        """Send a message from this site; see :meth:`Network.send`."""
+        """Send a message from this site; see :meth:`Network.send`.
+
+        ``timeout`` is accepted for transport-contract compatibility
+        and ignored: simulated delivery is synchronous, so an exchange
+        either completes now or fails now.
+        """
         return self.network.send(self.site_id, dst, kind, payload, reply_kind)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -115,6 +121,13 @@ class Network(Transport):
         self.reply_cache_limit = reply_cache_limit
         self._rng = random.Random(loss_seed)
         self._sites: Dict[str, Site] = {}
+        # Deterministic crash injection (the crash-matrix tests): a
+        # crashed site neither sends nor receives, and a crash plan
+        # kills a site at the Nth frame of a given kind it sends or
+        # receives.
+        self._crashed: set = set()
+        self._crash_plans: Dict[tuple, int] = {}
+        self._frame_counts: Dict[tuple, int] = {}
 
     def add_site(self, site_id: str) -> Site:
         """Create and register a new endpoint."""
@@ -135,6 +148,45 @@ class Network(Transport):
     def site_ids(self) -> list:
         """All registered site ids, in registration order."""
         return list(self._sites)
+
+    # -- deterministic crash injection ------------------------------------
+
+    def crash(self, site_id: str) -> None:
+        """Mark a site dead: it neither sends nor receives from now on."""
+        if site_id not in self._sites:
+            raise NetworkError(f"unknown site {site_id!r}")
+        self._crashed.add(site_id)
+
+    def is_crashed(self, site_id: str) -> bool:
+        """Whether ``site_id`` has crashed."""
+        return site_id in self._crashed
+
+    def plan_crash(
+        self, site_id: str, on: str, kind: MessageKind, nth: int
+    ) -> None:
+        """Kill ``site_id`` at its ``nth`` frame of ``kind``.
+
+        ``on`` is ``"send"`` (the site dies right after transmitting
+        the frame — delivered, but the reply is lost with the sender)
+        or ``"recv"`` (the site dies before processing the frame).
+        Mirrors the TCP transport's ``crash-send=KIND:N`` /
+        ``crash-recv=KIND:N`` fault clauses so the crash matrix runs
+        identically on both transports.
+        """
+        if on not in ("send", "recv"):
+            raise NetworkError(f"bad crash plan side {on!r}")
+        if nth < 1:
+            raise NetworkError(f"bad crash plan ordinal {nth!r}")
+        self._crash_plans[(site_id, on, kind)] = nth
+
+    def _count_frame(self, site_id: str, on: str, kind: MessageKind) -> bool:
+        """Count one frame against the crash plan; True when it fires."""
+        planned = self._crash_plans.get((site_id, on, kind))
+        if planned is None:
+            return False
+        key = (site_id, on, kind)
+        self._frame_counts[key] = self._frame_counts.get(key, 0) + 1
+        return self._frame_counts[key] == planned
 
     def send(
         self,
@@ -157,6 +209,41 @@ class Network(Transport):
         if src not in self._sites:
             raise NetworkError(f"unknown source site {src!r}")
         destination = self.site(dst)
+        if src in self._crashed:
+            raise TransportError(
+                f"{kind} exchange {src!r}->{dst!r} failed: "
+                f"source site {src!r} has crashed"
+            )
+        if dst in self._crashed:
+            # The peer is dead: every retransmission times out and the
+            # exchange fails, exactly like the TCP transport's
+            # exhausted retry schedule.
+            self._timeout()
+            raise TransportError(
+                f"{kind} exchange {src!r}->{dst!r} failed: "
+                f"destination site {dst!r} has crashed"
+            )
+        if self._count_frame(dst, "recv", kind):
+            # The receiver dies before processing this frame.
+            message = Message(src=src, dst=dst, kind=kind, payload=payload)
+            self._charge(message)
+            self.crash(dst)
+            raise TransportError(
+                f"{kind} exchange {src!r}->{dst!r} failed: "
+                f"destination site {dst!r} crashed on receive"
+            )
+        if self._count_frame(src, "send", kind):
+            # The sender dies right after the frame leaves: the
+            # receiver processes it, but the reply is lost with the
+            # sender (one legal interleaving of a mid-exchange crash).
+            message = Message(src=src, dst=dst, kind=kind, payload=payload)
+            self._charge(message)
+            destination.handle(message)
+            self.crash(src)
+            raise TransportError(
+                f"{kind} exchange {src!r}->{dst!r} failed: "
+                f"source site {src!r} crashed after send"
+            )
         if self.loss_rate == 0.0:
             # Reliable fast path: no exchange ids, no reply caching.
             message = Message(src=src, dst=dst, kind=kind, payload=payload)

@@ -114,6 +114,8 @@ class StatsCollector:
         self.remote_mallocs = 0
         self.remote_frees = 0
         self.batch_flushes = 0
+        self.sessions_aborted = 0
+        self.orphans_reaped = 0
         self.transfer_ledger = TransferLedger()
 
     # -- messages ---------------------------------------------------------
@@ -177,6 +179,8 @@ class StatsCollector:
         self.remote_mallocs = 0
         self.remote_frees = 0
         self.batch_flushes = 0
+        self.sessions_aborted = 0
+        self.orphans_reaped = 0
         self.transfer_ledger = TransferLedger()
 
     def summary(self) -> str:
@@ -199,6 +203,8 @@ class StatsCollector:
             f"(touched: {self.transfer_ledger.prefetch_bytes_touched})",
             f"round trips saved: {self.transfer_ledger.round_trips_saved} "
             f"(piggyback hits: {self.transfer_ledger.piggyback_hits})",
+            f"sessions aborted: {self.sessions_aborted}, "
+            f"orphans reaped: {self.orphans_reaped}",
         ]
         return "\n".join(lines)
 

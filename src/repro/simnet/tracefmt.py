@@ -131,6 +131,23 @@ def load_trace(path) -> List[TraceEvent]:
         return parse_trace(handle.read())
 
 
+def events_for_session(
+    events: Iterable[TraceEvent], session_id: str
+) -> List[TraceEvent]:
+    """The sub-trace of one session, in original order.
+
+    Crash forensics helper: a session's lifecycle — transfers, faults,
+    abort, reap, write-back phases — filtered out of a (possibly
+    merged multi-space) trace by the ``session`` key every smart-RPC
+    event carries.
+    """
+    return [
+        event
+        for event in events
+        if (event.data or {}).get("session") == session_id
+    ]
+
+
 def summarize_trace(stats: StatsCollector) -> str:
     """Counter totals plus the first and last event times."""
     lines = [stats.summary()]

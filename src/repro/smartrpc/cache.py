@@ -115,6 +115,14 @@ class CacheManager:
         """Whether the page belongs to this session's cache area."""
         return page_number in self._pages
 
+    def footprint(self) -> Tuple[int, int]:
+        """(mapped protected pages, allocation-table rows) still held.
+
+        The fault-tolerance layer's leak metric: after a clean close,
+        an abort or a reap, both counts must be zero.
+        """
+        return len(self._pages), len(self.table)
+
     # -- placeholder allocation -----------------------------------------------
 
     def ensure_entry(self, pointer: LongPointer) -> AllocEntry:

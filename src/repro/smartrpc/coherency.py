@@ -15,6 +15,15 @@ At the end of the session the ground runtime
 
 No concurrency control appears anywhere, which is the paper's point of
 contrast with DSM systems.
+
+The write-back itself runs in two phases (DESIGN.md §12): every dirty
+home first *stages* its batch (``WRITEBACK_PREPARE``), and only when
+every stage is acknowledged does the ground *commit* them
+(``WRITEBACK_COMMIT``), at which point each home applies its staged
+batch to the originals.  A crash anywhere in between therefore never
+leaves a home space half-updated: an uncommitted home discards its
+staged batch on the abort INVALIDATE (or when its orphan reaper
+fires), so each home ends either fully original or fully updated.
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ from typing import TYPE_CHECKING, Dict, List
 from repro.simnet.message import Message, MessageKind
 from repro.smartrpc import transfer
 from repro.smartrpc.closure import ClosureItem
+from repro.smartrpc.errors import SmartRpcError
+from repro.transport.base import TransportError
 from repro.xdr.stream import XdrDecoder, XdrEncoder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -122,9 +133,14 @@ def end_session(
     for participant in participants:
         encoder = XdrEncoder()
         encoder.pack_string(state.session_id)
-        runtime.site.send(
-            participant, MessageKind.INVALIDATE, encoder.getvalue()
-        )
+        try:
+            runtime.site.send(
+                participant, MessageKind.INVALIDATE, encoder.getvalue()
+            )
+        except TransportError:
+            # The write-back already committed; a dead participant
+            # cleans itself up when its orphan reaper fires.
+            continue
         runtime.stats.record_event(
             runtime.clock.now,
             "invalidate",
@@ -143,37 +159,125 @@ def end_session(
 def _write_back(
     runtime: "SmartRpcRuntime", state: "SmartSessionState"
 ) -> None:
+    """Two-phase write-back: stage at every dirty home, then commit.
+
+    Phase ordering is the crash-safety argument: no home applies
+    anything until *every* home has acknowledged holding its complete
+    batch, and each home's apply is a single local step, so a crash at
+    any instant leaves every home either fully original or fully
+    updated (an uncommitted staged batch is discarded by the abort
+    INVALIDATE or the home's own orphan reaper).
+    """
     by_home: Dict[str, List[ClosureItem]] = {}
     for item in modified_items(runtime, state):
         by_home.setdefault(item.pointer.space_id, []).append(item)
-    for home, items in sorted(by_home.items()):
-        if home == runtime.site_id:
-            continue  # originals live here; nothing to ship
+    homes = sorted(h for h in by_home if h != runtime.site_id)
+    for home in homes:
         encoder = XdrEncoder()
         encoder.pack_string(state.session_id)
         encoder.pack_string(state.ground_site)
-        encoder.pack_opaque(transfer.encode_batch(runtime, state, items))
+        encoder.pack_opaque(
+            transfer.encode_batch(runtime, state, by_home[home])
+        )
         payload = encoder.getvalue()
         runtime.clock.advance(runtime.cost_model.codec_cost(len(payload)))
-        runtime.site.send(
+        runtime.session_send(
+            state,
             home,
-            MessageKind.WRITE_BACK,
+            MessageKind.WRITEBACK_PREPARE,
             payload,
-            reply_kind=MessageKind.WRITE_BACK_ACK,
+            reply_kind=MessageKind.WRITEBACK_PREPARE_ACK,
+        )
+    for home in homes:
+        encoder = XdrEncoder()
+        encoder.pack_string(state.session_id)
+        runtime.session_send(
+            state,
+            home,
+            MessageKind.WRITEBACK_COMMIT,
+            encoder.getvalue(),
+            reply_kind=MessageKind.WRITEBACK_COMMIT_ACK,
         )
         runtime.stats.write_backs += 1
         runtime.stats.record_event(
             runtime.clock.now,
             "write-back",
             f"{runtime.site_id}: session {state.session_id} wrote "
-            f"{len(items)} item(s) back to {home}",
+            f"{len(by_home[home])} item(s) back to {home}",
             data={
                 "space": runtime.site_id,
                 "session": state.session_id,
                 "home": home,
-                "items": len(items),
+                "items": len(by_home[home]),
             },
         )
+
+
+def _record_phase(
+    runtime: "SmartRpcRuntime",
+    state: "SmartSessionState",
+    phase: str,
+    size: int,
+) -> None:
+    """Trace one home-side write-back phase transition.
+
+    Recorded at the *home* (not the ground) so the evidence survives a
+    ground crash: the SRPC321 conformance rule checks every commit at
+    a space against that same space's earlier prepare.
+    """
+    runtime.stats.record_event(
+        runtime.clock.now,
+        "writeback-phase",
+        f"{runtime.site_id}: session {state.session_id} write-back "
+        f"{phase} ({size} staged byte(s))",
+        data={
+            "space": runtime.site_id,
+            "session": state.session_id,
+            "ground": state.ground_site,
+            "home": runtime.site_id,
+            "phase": phase,
+            "bytes": size,
+        },
+    )
+
+
+def handle_writeback_prepare(
+    runtime: "SmartRpcRuntime", message: Message
+) -> bytes:
+    """Home-space phase 1: hold the batch without applying it."""
+    runtime.clock.advance(
+        runtime.cost_model.codec_cost(len(message.payload))
+    )
+    decoder = XdrDecoder(message.payload)
+    session_id = decoder.unpack_string()
+    ground_site = decoder.unpack_string()
+    batch = decoder.unpack_opaque()
+    decoder.expect_done()
+    state = runtime.ensure_smart_session(session_id, ground_site)
+    state.staged_writeback = batch
+    _record_phase(runtime, state, "prepare", len(batch))
+    return b""
+
+
+def handle_writeback_commit(
+    runtime: "SmartRpcRuntime", message: Message
+) -> bytes:
+    """Home-space phase 2: apply the staged batch to the originals."""
+    decoder = XdrDecoder(message.payload)
+    session_id = decoder.unpack_string()
+    decoder.expect_done()
+    state = runtime._sessions.get(session_id)
+    staged = getattr(state, "staged_writeback", None)
+    if staged is None:
+        raise SmartRpcError(
+            f"{runtime.site_id}: writeback-commit for session "
+            f"{session_id!r} without a staged prepare"
+        )
+    assert state is not None
+    state.staged_writeback = None
+    transfer.apply_batch(runtime, state, staged, overwrite=True)
+    _record_phase(runtime, state, "commit", len(staged))
+    return b""
 
 
 def handle_write_back(

@@ -19,3 +19,19 @@ class SwizzleError(SmartRpcError):
 
 class DanglingPointerError(SmartRpcError):
     """A long pointer references data its home space no longer holds."""
+
+
+class SessionAbortedError(SmartRpcError):
+    """A session was torn down before it could end cleanly.
+
+    Raised instead of hanging when a per-exchange timeout fires, a
+    per-session deadline expires, or the orphan reaper discards a
+    session whose peer stopped heartbeating.  ``session_id`` names the
+    aborted session and ``reason`` the triggering condition (e.g.
+    ``"exchange-timeout"``, ``"deadline"``, ``"peer-dead"``).
+    """
+
+    def __init__(self, message: str, session_id: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.session_id = session_id
+        self.reason = reason

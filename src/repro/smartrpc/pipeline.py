@@ -55,7 +55,9 @@ from typing import (
 
 from repro.simnet.message import MessageKind
 from repro.smartrpc import transfer
+from repro.smartrpc.errors import SessionAbortedError
 from repro.smartrpc.long_pointer import LongPointer
+from repro.transport.base import TransportError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from concurrent.futures import Future, ThreadPoolExecutor
@@ -219,7 +221,8 @@ class FetchPipeline:
             coalesced=len(extras),
             issued_at=self.runtime.clock.now,
         )
-        reply = self.runtime.site.send(
+        reply = self.runtime.session_send(
+            self.state,
             home,
             MessageKind.DATA_REQUEST,
             payload,
@@ -331,7 +334,8 @@ class FetchPipeline:
         if self._overlap_simulated:
             clock = self.runtime.clock
             mark = clock.mark()
-            fetch.reply = self.runtime.site.send(
+            fetch.reply = self.runtime.session_send(
+                self.state,
                 home,
                 MessageKind.DATA_REQUEST,
                 payload,
@@ -340,12 +344,21 @@ class FetchPipeline:
             fetch.ready_at = clock.now
             clock.rewind(mark)
         else:
+            # The exchange runs on a worker thread, so the guarded
+            # send's abort path (which mutates session state) stays on
+            # the ground thread: the raw send gets only the timeout
+            # cap, and :meth:`_collect` converts its failure.
+            kwargs = {}
+            if self.state.policy.exchange_timeout > 0:
+                kwargs["timeout"] = self.state.policy.exchange_timeout
             fetch.future = self._ensure_executor().submit(
-                self.runtime.site.send,
-                home,
-                MessageKind.DATA_REQUEST,
-                payload,
-                reply_kind=MessageKind.DATA_REPLY,
+                lambda: self.runtime.site.send(
+                    home,
+                    MessageKind.DATA_REQUEST,
+                    payload,
+                    reply_kind=MessageKind.DATA_REPLY,
+                    **kwargs,
+                )
             )
         self._pending.append(fetch)
         return True
@@ -380,7 +393,17 @@ class FetchPipeline:
 
     def _collect(self, fetch: PendingFetch) -> bytes:
         if fetch.future is not None:
-            return fetch.future.result()
+            try:
+                return fetch.future.result()
+            except TransportError as exc:
+                reason = f"peer-unreachable:{fetch.home}"
+                self.runtime.abort_session(self.state, reason=reason)
+                raise SessionAbortedError(
+                    f"session {self.state.session_id!r} aborted: "
+                    f"prefetch from {fetch.home!r} failed ({exc})",
+                    session_id=self.state.session_id,
+                    reason=reason,
+                ) from exc
         # Simulated overlap: the exchange already ran in a rewound
         # window; the fault waits until the reply's arrival instant.
         self.runtime.clock.join(fetch.ready_at)
@@ -400,7 +423,13 @@ class FetchPipeline:
         """
         for fetch in self._pending:
             if fetch.future is not None:
-                fetch.future.result()
+                try:
+                    fetch.future.result()
+                except TransportError:
+                    # Speculative traffic: a failed prefetch is waste,
+                    # not a session error.  If the home really is dead
+                    # the next demanded exchange aborts the session.
+                    pass
         self._pending.clear()
 
     def drain(self) -> None:
@@ -408,6 +437,23 @@ class FetchPipeline:
         self.discard_pending()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def abandon(self) -> None:
+        """Drop everything without waiting; the session is dead.
+
+        Unlike :meth:`drain` this never blocks on (or raises from)
+        exchanges to peers that may themselves be dead: unstarted
+        futures are cancelled and the eventual failures of running
+        ones are consumed off-thread.
+        """
+        for fetch in self._pending:
+            future = fetch.future
+            if future is not None and not future.cancel():
+                future.add_done_callback(lambda f: f.exception())
+        self._pending.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
             self._executor = None
 
     # -- internals -------------------------------------------------------------

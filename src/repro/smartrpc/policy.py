@@ -97,6 +97,21 @@ class TransferPolicy:
     max_inflight: int = 0
     prefetch_depth: int = 0
 
+    #: Fault-tolerance knobs (see DESIGN.md §12).  All zero disables
+    #: them: no deadline, no per-exchange timeout cap, no orphan
+    #: reaping — exactly the pre-fault-tolerance behaviour, so default
+    #: traces and the byte-parity tests are unchanged.
+    #:
+    #: ``session_deadline``: wall/sim seconds a session may stay open
+    #: before its next exchange aborts it.  ``exchange_timeout``: cap
+    #: in seconds on one exchange's cumulative retries before the
+    #: session aborts (instead of the transport's full retry schedule).
+    #: ``orphan_grace``: heartbeat age in seconds beyond which a peer
+    #: counts as dead and its sessions are reaped.
+    session_deadline: float = 0.0
+    exchange_timeout: float = 0.0
+    orphan_grace: float = 0.0
+
     def fresh(self) -> "TransferPolicy":
         """A per-runtime copy of this policy."""
         return copy.copy(self)
@@ -117,6 +132,9 @@ class TransferPolicy:
             "batch_window": self.batch_window,
             "max_inflight": self.max_inflight,
             "prefetch_depth": self.prefetch_depth,
+            "session_deadline": self.session_deadline,
+            "exchange_timeout": self.exchange_timeout,
+            "orphan_grace": self.orphan_grace,
         }
 
 

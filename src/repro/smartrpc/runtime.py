@@ -38,12 +38,12 @@ from repro.rpc.runtime import RpcRuntime
 from repro.rpc.session import SessionState
 from repro.simnet.message import MessageKind
 from repro.simnet.stats import TransferLedger
-from repro.transport.base import Endpoint, Transport
+from repro.transport.base import Endpoint, Transport, TransportError
 from repro.smartrpc import coherency, graphcopy, remote_heap, transfer
 from repro.smartrpc.alloc_table import AllocEntry
 from repro.smartrpc.cache import SINGLE_HOME, CacheManager
 from repro.smartrpc.closure import BREADTH_FIRST
-from repro.smartrpc.errors import SmartRpcError
+from repro.smartrpc.errors import SessionAbortedError, SmartRpcError
 from repro.smartrpc.hints import ClosureHints
 from repro.smartrpc.long_pointer import (
     LongPointer,
@@ -90,6 +90,13 @@ class SmartSessionState(SessionState):
         self.pending_frees: List[LongPointer] = []
         self.transfer_stats = TransferLedger()
         self.policy_data: Dict[str, Any] = {}
+        # Fault-tolerance state (DESIGN.md §12): the write-back batch a
+        # home space has staged but not yet committed, why this session
+        # was torn down early (``None`` while healthy), and when it
+        # opened (the session-deadline anchor).
+        self.staged_writeback: Optional[bytes] = None
+        self.abort_reason: Optional[str] = None
+        self.opened_at = runtime.clock.now
         runtime.stats.record_event(
             runtime.clock.now,
             "policy",
@@ -140,6 +147,14 @@ class SmartRpcRuntime(RpcRuntime):
         site.register_handler(
             MessageKind.WRITE_BACK,
             lambda message: coherency.handle_write_back(self, message),
+        )
+        site.register_handler(
+            MessageKind.WRITEBACK_PREPARE,
+            lambda message: coherency.handle_writeback_prepare(self, message),
+        )
+        site.register_handler(
+            MessageKind.WRITEBACK_COMMIT,
+            lambda message: coherency.handle_writeback_commit(self, message),
         )
         site.register_handler(
             MessageKind.INVALIDATE,
@@ -309,15 +324,208 @@ class SmartRpcRuntime(RpcRuntime):
             coherency.end_session(self, state)
 
     def invalidate_session(self, session_id: str) -> None:
-        """Drop a session on the invalidation multicast."""
+        """Drop a session on the invalidation multicast.
+
+        Also the presumed-abort path: a staged-but-uncommitted
+        write-back batch is discarded here, so an aborted two-phase
+        session leaves this space's originals untouched.
+        """
         state = self._sessions.pop(session_id, None)
         if state is None:
             return
         state.closed = True
         if isinstance(state, SmartSessionState):
-            state.pipeline.drain()
+            state.pipeline.abandon()
             state.cache.invalidate()
             state.relayed_dirty.clear()
+            state.pending_allocs.clear()
+            state.pending_frees.clear()
+            state.staged_writeback = None
+
+    # -- fault tolerance (DESIGN.md §12) --------------------------------------
+
+    def _session_send(
+        self,
+        state: SessionState,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        reply_kind: Optional[MessageKind] = None,
+    ) -> bytes:
+        assert isinstance(state, SmartSessionState)
+        return self.session_send(
+            state, dst, kind, payload, reply_kind=reply_kind
+        )
+
+    def session_send(
+        self,
+        state: SmartSessionState,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        reply_kind: Optional[MessageKind] = None,
+    ) -> bytes:
+        """One guarded session-scoped exchange.
+
+        Enforces the policy's session deadline and per-exchange timeout
+        and converts a transport failure (dead peer, exhausted retries)
+        into an immediate local abort plus a typed
+        :class:`SessionAbortedError` — a crashed peer never hangs the
+        surviving site.  With both knobs at zero this is exactly the
+        unguarded send the protocol always used.
+        """
+        deadline = state.policy.session_deadline
+        if deadline > 0 and self.clock.now - state.opened_at > deadline:
+            self.abort_session(state, reason="deadline")
+            raise SessionAbortedError(
+                f"session {state.session_id!r} exceeded its "
+                f"{deadline}s deadline",
+                session_id=state.session_id,
+                reason="deadline",
+            )
+        kwargs = {}
+        if state.policy.exchange_timeout > 0:
+            kwargs["timeout"] = state.policy.exchange_timeout
+        try:
+            return self.site.send(
+                dst, kind, payload, reply_kind=reply_kind, **kwargs
+            )
+        except TransportError as exc:
+            reason = f"peer-unreachable:{dst}"
+            self.abort_session(state, reason=reason)
+            raise SessionAbortedError(
+                f"session {state.session_id!r} aborted: {kind.value} "
+                f"exchange with {dst!r} failed ({exc})",
+                session_id=state.session_id,
+                reason=reason,
+            ) from exc
+
+    def abort_session(
+        self,
+        state: SmartSessionState,
+        reason: str,
+        notify: bool = True,
+    ) -> None:
+        """Tear a session down early, rolling its cached state back.
+
+        Idempotent — a session aborts at most once.  When this space
+        grounds the session (and ``notify`` is set) the surviving
+        participants get a best-effort INVALIDATE so they roll back
+        now instead of waiting for their orphan reapers.
+        """
+        if state.abort_reason is not None:
+            return
+        state.abort_reason = reason
+        state.closed = True
+        self._sessions.pop(state.session_id, None)
+        self.stats.sessions_aborted += 1
+        self.stats.record_event(
+            self.clock.now,
+            "session-abort",
+            f"{self.site_id}: session {state.session_id} aborted "
+            f"({reason})",
+            data={
+                "space": self.site_id,
+                "session": state.session_id,
+                "ground": state.ground_site,
+                "reason": reason,
+            },
+        )
+        if notify and state.ground_site == self.site_id:
+            # The notify is best-effort, so don't let a dead peer's
+            # full retry schedule stall the abort: the exchange cap
+            # (when configured) bounds each attempt too.
+            kwargs = {}
+            if state.policy.exchange_timeout > 0:
+                kwargs["timeout"] = state.policy.exchange_timeout
+            for participant in sorted(
+                state.participants - {self.site_id}
+            ):
+                encoder = XdrEncoder()
+                encoder.pack_string(state.session_id)
+                try:
+                    self.site.send(
+                        participant,
+                        MessageKind.INVALIDATE,
+                        encoder.getvalue(),
+                        **kwargs,
+                    )
+                except TransportError:
+                    # Dead peers clean up via their own reapers.
+                    continue
+                self.stats.record_event(
+                    self.clock.now,
+                    "invalidate",
+                    f"{self.site_id}: session {state.session_id} "
+                    f"invalidated at {participant}",
+                    data={
+                        "space": self.site_id,
+                        "session": state.session_id,
+                        "dst": participant,
+                    },
+                )
+        self._reap_state(state, reason)
+
+    def _reap_state(self, state: SmartSessionState, reason: str) -> None:
+        """Roll back everything a dead session pinned in this space."""
+        state.pipeline.abandon()
+        pages, entries = state.cache.footprint()
+        state.cache.invalidate()
+        state.relayed_dirty.clear()
+        state.pending_allocs.clear()
+        state.pending_frees.clear()
+        state.staged_writeback = None
+        self.stats.orphans_reaped += 1
+        self.stats.record_event(
+            self.clock.now,
+            "orphan-reaped",
+            f"{self.site_id}: session {state.session_id} reaped "
+            f"({pages} page(s), {entries} table entr(ies), {reason})",
+            data={
+                "space": self.site_id,
+                "session": state.session_id,
+                "ground": state.ground_site,
+                "pages": pages,
+                "entries": entries,
+                "reason": reason,
+            },
+        )
+
+    def reap_orphans(
+        self,
+        ages: Dict[str, float],
+        grace: Optional[float] = None,
+    ) -> List[str]:
+        """Abort sessions whose peers stopped heartbeating.
+
+        ``ages`` maps live site ids to seconds since their last
+        directory heartbeat (:meth:`DirectoryClient.list`); a watched
+        peer missing from the map, or older than the grace period,
+        counts as dead.  The ground space watches every participant;
+        a participant watches only the ground (the ground's own
+        reaper tells it about third-site deaths).  Returns the ids of
+        the sessions reaped.
+        """
+        if grace is None:
+            grace = self.policy.orphan_grace
+        if grace <= 0:
+            return []
+        reaped: List[str] = []
+        for state in list(self._sessions.values()):
+            if not isinstance(state, SmartSessionState):
+                continue
+            if state.ground_site == self.site_id:
+                watched = sorted(state.participants - {self.site_id})
+            else:
+                watched = [state.ground_site]
+            for peer in watched:
+                age = ages.get(peer)
+                if age is not None and age <= grace:
+                    continue
+                self.abort_session(state, reason=f"peer-dead:{peer}")
+                reaped.append(state.session_id)
+                break
+        return reaped
 
     # -- coherency / memory-batch piggyback -----------------------------------
 

@@ -307,7 +307,8 @@ def request_data(
     order = policy.closure_order
     payload = encode_request_payload(state, home, pointers, budget, order)
     runtime.clock.advance(runtime.cost_model.codec_cost(len(payload)))
-    reply = runtime.site.send(
+    reply = runtime.session_send(
+        state,
         home,
         MessageKind.DATA_REQUEST,
         payload,

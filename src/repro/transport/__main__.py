@@ -10,6 +10,7 @@ Run as ``python -m repro.transport``::
 
     # liveness / control
     python -m repro.transport ping --site B --registry 127.0.0.1:7000
+    python -m repro.transport status --site B --registry 127.0.0.1:7000
     python -m repro.transport shutdown --site B --registry 127.0.0.1:7000
 
     # one timeline out of the per-process --trace logs
@@ -33,6 +34,7 @@ from repro.transport.host import (
     run_ping,
     run_serve,
     run_shutdown,
+    run_status,
 )
 from repro.transport.tracemerge import run_merge
 
@@ -108,7 +110,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault",
         metavar="SPEC",
         help="inject wire faults: drop-request=N, dup-request=N, "
-        "drop-reply=N, loss=RATE, seed=N (comma separated)",
+        "drop-reply=N, loss=RATE, seed=N, crash-send=KIND:N, "
+        "crash-recv=KIND:N (comma separated)",
+    )
+    serve.add_argument(
+        "--session-deadline",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="abort sessions still open after this long (0: never)",
+    )
+    serve.add_argument(
+        "--exchange-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="cap each session exchange's retries at this long, "
+        "aborting the session on expiry (0: full retry schedule)",
+    )
+    serve.add_argument(
+        "--orphan-grace",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="reap sessions whose peer's directory heartbeat is older "
+        "than this (0: never reap)",
     )
     serve.set_defaults(run=run_serve)
 
@@ -127,6 +153,26 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_registry_options(shutdown)
     shutdown.set_defaults(run=run_shutdown)
 
+    status = commands.add_parser(
+        "status",
+        help="block on a host's readiness barrier and print counters",
+    )
+    status.add_argument("--site", required=True, metavar="ID")
+    _add_registry_options(status)
+    status.add_argument(
+        "--min-heartbeats", type=int, default=0, metavar="N",
+        help="wait until the host has heartbeated N times",
+    )
+    status.add_argument(
+        "--min-reaped", type=int, default=0, metavar="N",
+        help="wait until the host has reaped N orphaned sessions",
+    )
+    status.add_argument(
+        "--max-wait", type=float, default=5.0, metavar="SECONDS",
+        help="give up waiting for the condition after this long",
+    )
+    status.set_defaults(run=run_status)
+
     merge = commands.add_parser(
         "merge-traces",
         help="merge per-process trace logs into one timeline",
@@ -144,7 +190,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("ping", "shutdown") and args.registry is None:
+    if args.command in ("ping", "shutdown", "status") and (
+        args.registry is None
+    ):
         parser.error(f"{args.command} requires --registry HOST:PORT")
     return args.run(args)
 

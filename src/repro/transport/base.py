@@ -189,11 +189,18 @@ class Endpoint(abc.ABC):
         kind: MessageKind,
         payload: bytes,
         reply_kind: Optional[MessageKind] = None,
+        timeout: Optional[float] = None,
     ) -> bytes:
         """Send one message to ``dst``; return the reply body.
 
         When ``reply_kind`` is ``None`` the message is one-way: the
         handler must produce no reply body and ``b""`` is returned.
+
+        ``timeout`` caps the whole exchange (including retransmits) in
+        seconds; the exchange fails with :class:`TransportError` once
+        it elapses instead of running the full retry schedule.
+        Backends with synchronous delivery (the simulator) may ignore
+        it.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -13,8 +13,25 @@ The host prints one ``READY site=<id> addr=<host>:<port>`` line to
 stdout once it is serving — spawners wait for that line — then blocks
 until a signal (SIGINT/SIGTERM) or a ``SHUTDOWN`` control message
 arrives.  While blocked it heartbeats the directory so liveness
-information stays fresh.  On the way out it deregisters, dumps its
+information stays fresh, and — when the runtime's policy sets an
+``orphan_grace`` — feeds the directory's liveness ages to the orphan
+reaper so sessions grounded at (or joined by) a dead peer are
+discarded (DESIGN.md §12).  On the way out it deregisters, dumps its
 recorded trace (``--trace``) and closes the transport.
+
+Two control exchanges make hosts observable and drivable without
+wall-clock sleeps:
+
+* ``STATUS`` is a *readiness barrier*: the request names the condition
+  to wait for (``min_heartbeats`` successful directory heartbeats,
+  ``min_reaped`` orphaned sessions reaped, a ``max_wait`` bound) and
+  the reply reports the host's counters plus its open-session and
+  invariant-error counts.  Tests block on it instead of sleeping.
+* ``RUN_SESSION`` asks a space host to play *ground*: it runs the
+  shared crash-matrix scenario (:func:`run_crash_session`) against the
+  named peers and reports completed/aborted.  Combined with crash
+  fault injection this drives caller-crash cells from outside the
+  dying process.
 """
 
 from __future__ import annotations
@@ -24,7 +41,7 @@ import signal
 import sys
 import threading
 import time
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.namesvc.client import TypeResolver
 from repro.namesvc.directory import DirectoryClient, SiteDirectory
@@ -33,9 +50,11 @@ from repro.rpc.runtime import RpcRuntime
 from repro.simnet.message import Message, MessageKind
 from repro.simnet.stats import StatsCollector
 from repro.simnet.tracefmt import save_trace
+from repro.smartrpc.errors import SessionAbortedError
 from repro.smartrpc.policy import POLICY_NAMES, make_policy
-from repro.smartrpc.runtime import SmartRpcRuntime
-from repro.transport.base import RetryPolicy, TransportError
+from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
+from repro.smartrpc.validate import session_diagnostics
+from repro.transport.base import Endpoint, RetryPolicy, TransportError
 from repro.transport.tcp import FaultInjector, TcpTransport
 from repro.workloads.hashtable import bind_hash_server, register_hash_types
 from repro.workloads.linked_list import bind_list_server, register_list_types
@@ -44,6 +63,7 @@ from repro.workloads.traversal import (
     TREE_OPS,
     bind_tree_expose,
     bind_tree_server,
+    tree_expose_client,
 )
 from repro.workloads.trees import (
     TREE_NODE_TYPE_ID,
@@ -53,6 +73,8 @@ from repro.workloads.trees import (
 )
 from repro.xdr.arch import SPARC32, Architecture
 from repro.xdr.registry import TypeRegistry
+from repro.xdr.stream import XdrDecoder, XdrEncoder
+from repro.xdr.view import StructView
 
 #: Default site id of the registry host (directory + type name server).
 REGISTRY_SITE = "NS"
@@ -88,6 +110,131 @@ def _method_policy(method: str, closure_size: int):
     raise ValueError(f"unknown method {method!r}")
 
 
+# -- control-plane wire formats (STATUS / RUN_SESSION) -----------------------
+
+#: RUN_SESSION reply statuses.
+RUN_COMPLETED = 0
+RUN_ABORTED = 1
+RUN_ERROR = 2
+
+#: The value :func:`run_crash_session` writes into every peer's exposed
+#: root node — survivors check for it to prove the write-back landed
+#: (commit crossed) or did not (crash before commit rolled back).
+CRASH_SCENARIO_MARK = 555
+
+
+def encode_status_request(
+    min_heartbeats: int = 0, min_reaped: int = 0, max_wait: float = 0.0
+) -> bytes:
+    """Payload of one STATUS barrier request."""
+    encoder = XdrEncoder()
+    encoder.pack_uint32(min_heartbeats)
+    encoder.pack_uint32(min_reaped)
+    encoder.pack_double(max_wait)
+    return encoder.getvalue()
+
+
+def decode_status_reply(payload: bytes) -> Dict[str, int]:
+    """Parse a STATUS reply into its counter mapping."""
+    decoder = XdrDecoder(payload)
+    status = {
+        "heartbeats": decoder.unpack_uint32(),
+        "orphans_reaped": decoder.unpack_uint32(),
+        "open_sessions": decoder.unpack_uint32(),
+        "invariant_errors": decoder.unpack_uint32(),
+    }
+    decoder.expect_done()
+    return status
+
+
+def query_status(
+    endpoint: Endpoint,
+    site: str,
+    *,
+    min_heartbeats: int = 0,
+    min_reaped: int = 0,
+    max_wait: float = 0.0,
+    timeout: Optional[float] = None,
+) -> Dict[str, int]:
+    """Block until ``site`` reaches the named condition; return counters.
+
+    This is the readiness barrier tests use instead of wall-clock
+    sleeps: the *host* blocks the exchange until it has performed
+    ``min_heartbeats`` directory heartbeats and reaped ``min_reaped``
+    orphaned sessions (or ``max_wait`` elapses), so the caller resumes
+    the instant the condition holds.  Keep ``max_wait`` below the
+    sender's retry schedule (about 11 s under the default
+    :class:`RetryPolicy`) or the exchange gives up first; retransmits
+    while the barrier blocks are parked on the in-flight handler, not
+    re-run.
+    """
+    reply = endpoint.send(
+        site,
+        MessageKind.STATUS,
+        encode_status_request(min_heartbeats, min_reaped, max_wait),
+        reply_kind=MessageKind.STATUS_REPLY,
+        timeout=timeout,
+    )
+    return decode_status_reply(reply)
+
+
+def encode_run_session(peers: List[str]) -> bytes:
+    """Payload of one RUN_SESSION request (the ground's callee list)."""
+    encoder = XdrEncoder()
+    encoder.pack_uint32(len(peers))
+    for peer in peers:
+        encoder.pack_string(peer)
+    return encoder.getvalue()
+
+
+def decode_run_reply(payload: bytes) -> Tuple[int, str]:
+    """Parse a RUN_SESSION reply into ``(status, detail)``."""
+    decoder = XdrDecoder(payload)
+    status = decoder.unpack_uint32()
+    detail = decoder.unpack_string()
+    decoder.expect_done()
+    return status, detail
+
+
+def run_crash_session(runtime: SmartRpcRuntime, peers: List[str]) -> Dict[str, int]:
+    """The shared crash-matrix scenario: one ground session over ``peers``.
+
+    Every step is one column of the crash matrix, in order:
+
+    1. *call* — a ``tree_root`` CALL to each peer;
+    2. *fault-fill* — dereferencing each returned pointer faults and
+       pulls the node (DATA_REQUEST), then the write dirties it;
+    3. *activity-transfer* — a ``tree_checksum`` CALL to each peer,
+       carrying the modified-data-set piggyback;
+    4. *writeback-prepare* / *writeback-commit* — the two-phase
+       session end, one prepare+commit pair per dirty home.
+
+    The test process and the RUN_SESSION handler both run exactly this
+    function, so caller-crash and callee-crash cells exercise the same
+    message sequence.  Returns each peer's mid-session checksum
+    (diagnostic only — survivors judge the outcome by re-reading their
+    own heaps after the session ends or aborts).
+    """
+    spec = runtime.resolver.resolve(TREE_NODE_TYPE_ID)
+    checksums: Dict[str, int] = {}
+    with runtime.session() as session:
+        views = {}
+        for peer in peers:
+            pointer = tree_expose_client(runtime, peer).tree_root(session)
+            views[peer] = StructView(
+                runtime.mem, pointer, spec, runtime.arch
+            )
+        for peer in peers:
+            views[peer].set(
+                "data", CRASH_SCENARIO_MARK.to_bytes(8, "big")
+            )
+        for peer in peers:
+            checksums[peer] = tree_expose_client(
+                runtime, peer
+            ).tree_checksum(session)
+    return checksums
+
+
 def make_space(
     site_id: str,
     method: str = PROPOSED,
@@ -104,6 +251,9 @@ def make_space(
     listen: bool = True,
     closure_size: int = 8192,
     expose_tree: int = 0,
+    session_deadline: float = 0.0,
+    exchange_timeout: float = 0.0,
+    orphan_grace: float = 0.0,
 ) -> Tuple[TcpTransport, RpcRuntime]:
     """Build one TCP-attached address space: transport plus runtime.
 
@@ -132,12 +282,18 @@ def make_space(
         transport.endpoint,
         registry_site if registry is not None else None,
     )
+    policy = _method_policy(method, closure_size)
+    # Fault-tolerance knobs (DESIGN.md §12); the zero defaults leave
+    # the policy exactly as its preset built it.
+    policy.session_deadline = session_deadline
+    policy.exchange_timeout = exchange_timeout
+    policy.orphan_grace = orphan_grace
     runtime: RpcRuntime = SmartRpcRuntime(
         transport,
         transport.endpoint,
         arch,
         resolver=resolver,
-        policy=_method_policy(method, closure_size),
+        policy=policy,
     )
     register_tree_types(runtime)
     register_hash_types(runtime)
@@ -173,6 +329,9 @@ class ProcessHost:
         faults: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
         expose_tree: int = 0,
+        session_deadline: float = 0.0,
+        exchange_timeout: float = 0.0,
+        orphan_grace: float = 0.0,
     ) -> None:
         if not serve_registry and registry is None:
             raise TransportError(
@@ -184,6 +343,11 @@ class ProcessHost:
         self.trace_path = trace_path
         self._stop = threading.Event()
         self._stats = StatsCollector(trace=trace_path is not None)
+        #: STATUS-barrier counters, guarded by ``_status_cond`` so the
+        #: blocking STATUS handler can wait for them to advance.
+        self._status_cond = threading.Condition()
+        self.heartbeats = 0
+        self.orphans_reaped = 0
         self.runtime: Optional[RpcRuntime] = None
         self.directory: Optional[SiteDirectory] = None
         self._directory_client: Optional[DirectoryClient] = None
@@ -210,12 +374,21 @@ class ProcessHost:
                 retry=retry,
                 faults=faults,
                 expose_tree=expose_tree,
+                session_deadline=session_deadline,
+                exchange_timeout=exchange_timeout,
+                orphan_grace=orphan_grace,
             )
             self._directory_client = DirectoryClient(
                 self.transport.endpoint, registry_site
             )
+            self.transport.endpoint.register_handler(
+                MessageKind.RUN_SESSION, self._handle_run_session
+            )
         self.transport.endpoint.register_handler(
             MessageKind.SHUTDOWN, self._handle_shutdown
+        )
+        self.transport.endpoint.register_handler(
+            MessageKind.STATUS, self._handle_status
         )
 
     @property
@@ -227,6 +400,76 @@ class ProcessHost:
     def _handle_shutdown(self, message: Message) -> bytes:
         self._stop.set()
         return b""
+
+    def _handle_status(self, message: Message) -> bytes:
+        """The readiness barrier: block until the counters reach the ask.
+
+        Runs on a transport worker thread, so blocking here never
+        stalls the serve loop (whose heartbeats advance the counters)
+        or other exchanges; retransmissions of this request park on
+        the in-flight handler instead of re-entering it.
+        """
+        decoder = XdrDecoder(message.payload)
+        min_heartbeats = decoder.unpack_uint32()
+        min_reaped = decoder.unpack_uint32()
+        max_wait = decoder.unpack_double()
+        decoder.expect_done()
+        deadline = time.monotonic() + max_wait
+        with self._status_cond:
+            while (
+                self.heartbeats < min_heartbeats
+                or self.orphans_reaped < min_reaped
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._status_cond.wait(remaining):
+                    break
+            heartbeats = self.heartbeats
+            reaped = self.orphans_reaped
+        open_sessions = 0
+        invariant_errors = 0
+        if isinstance(self.runtime, SmartRpcRuntime):
+            for state in list(self.runtime._sessions.values()):
+                if not isinstance(state, SmartSessionState):
+                    continue
+                open_sessions += 1
+                invariant_errors += sum(
+                    1
+                    for diagnostic in session_diagnostics(
+                        self.runtime, state
+                    )
+                    if diagnostic.is_error
+                )
+        encoder = XdrEncoder()
+        encoder.pack_uint32(heartbeats)
+        encoder.pack_uint32(reaped)
+        encoder.pack_uint32(open_sessions)
+        encoder.pack_uint32(invariant_errors)
+        return encoder.getvalue()
+
+    def _handle_run_session(self, message: Message) -> bytes:
+        """Play ground: run the crash-matrix scenario against peers."""
+        decoder = XdrDecoder(message.payload)
+        count = decoder.unpack_uint32()
+        peers = [decoder.unpack_string() for _ in range(count)]
+        decoder.expect_done()
+        assert isinstance(self.runtime, SmartRpcRuntime)
+        encoder = XdrEncoder()
+        try:
+            checksums = run_crash_session(self.runtime, peers)
+            encoder.pack_uint32(RUN_COMPLETED)
+            encoder.pack_string(
+                ",".join(
+                    f"{peer}={total}"
+                    for peer, total in sorted(checksums.items())
+                )
+            )
+        except SessionAbortedError as exc:
+            encoder.pack_uint32(RUN_ABORTED)
+            encoder.pack_string(exc.reason or str(exc))
+        except Exception as exc:  # a broken scenario must still reply
+            encoder.pack_uint32(RUN_ERROR)
+            encoder.pack_string(f"{type(exc).__name__}: {exc}")
+        return encoder.getvalue()
 
     def request_stop(self) -> None:
         """Ask the serve loop to exit (signal handlers land here)."""
@@ -244,13 +487,30 @@ class ProcessHost:
         )
         try:
             while not self._stop.wait(self.heartbeat_interval):
-                if self._directory_client is not None:
-                    try:
-                        self._directory_client.heartbeat()
-                    except TransportError:
-                        # A dead registry should not kill a serving
-                        # space; peers holding our address still work.
-                        pass
+                if self._directory_client is None:
+                    continue
+                reaped = 0
+                try:
+                    self._directory_client.heartbeat()
+                    runtime = self.runtime
+                    if (
+                        isinstance(runtime, SmartRpcRuntime)
+                        and runtime.policy.orphan_grace > 0
+                    ):
+                        # The directory's liveness ages are the failure
+                        # detector: a peer past the grace (or missing
+                        # entirely) is dead, and every session it took
+                        # part in is reaped.
+                        ages = self._directory_client.liveness_ages()
+                        reaped = len(runtime.reap_orphans(ages))
+                except TransportError:
+                    # A dead registry should not kill a serving
+                    # space; peers holding our address still work.
+                    continue
+                with self._status_cond:
+                    self.heartbeats += 1
+                    self.orphans_reaped += reaped
+                    self._status_cond.notify_all()
         finally:
             time.sleep(_DRAIN_SECONDS)
             self.close()
@@ -297,6 +557,9 @@ def run_serve(args) -> int:
         trace_path=args.trace,
         faults=faults,
         expose_tree=args.expose_tree,
+        session_deadline=args.session_deadline,
+        exchange_timeout=args.exchange_timeout,
+        orphan_grace=args.orphan_grace,
     )
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: host.request_stop())
@@ -320,6 +583,38 @@ def run_ping(args) -> int:
         return 0
     except TransportError as exc:
         print(f"ping failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        transport.close()
+
+
+def run_status(args) -> int:
+    """Entry point for ``python -m repro.transport status``."""
+    registry = parse_address(args.registry)
+    transport = TcpTransport(
+        f"_status-{os.getpid()}",
+        listen=False,
+        peers={args.registry_site: registry},
+        directory_site=args.registry_site,
+    )
+    transport.start()
+    try:
+        status = query_status(
+            transport.endpoint,
+            args.site,
+            min_heartbeats=args.min_heartbeats,
+            min_reaped=args.min_reaped,
+            max_wait=args.max_wait,
+        )
+        print(
+            f"{args.site}: heartbeats={status['heartbeats']} "
+            f"reaped={status['orphans_reaped']} "
+            f"open-sessions={status['open_sessions']} "
+            f"invariant-errors={status['invariant_errors']}"
+        )
+        return 0
+    except TransportError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
         return 1
     finally:
         transport.close()

@@ -93,10 +93,22 @@ class FaultInjector:
     1-based indices into this transport's sequence of outgoing request
     (resp. reply) transmissions; ``loss_rate`` adds seeded random
     request drops on top for chaos-style tests.
+
+    ``crash_sends`` / ``crash_recvs`` map a message-kind value to a
+    1-based ordinal N: the *process* exits hard (``os._exit``) right
+    after transmitting (resp. right before handling) its Nth frame of
+    that kind — the deterministic process-kill primitive behind the
+    crash-matrix tests.  A crash-send dies with the frame already on
+    the wire (the peer processes it; the reply is lost with the
+    sender); a crash-recv dies before the handler runs.
     """
 
     DROP = "drop"
     DUPLICATE = "duplicate"
+
+    #: Exit status of an injected crash, so harnesses can tell a
+    #: planned death from an accidental one.
+    CRASH_EXIT_CODE = 86
 
     def __init__(
         self,
@@ -105,6 +117,8 @@ class FaultInjector:
         drop_replies: Iterable[int] = (),
         loss_rate: float = 0.0,
         seed: int = 0,
+        crash_sends: Optional[Dict[str, int]] = None,
+        crash_recvs: Optional[Dict[str, int]] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"bad loss rate {loss_rate!r}")
@@ -112,9 +126,13 @@ class FaultInjector:
         self.duplicate_requests = frozenset(duplicate_requests)
         self.drop_replies = frozenset(drop_replies)
         self.loss_rate = loss_rate
+        self.crash_sends = dict(crash_sends or {})
+        self.crash_recvs = dict(crash_recvs or {})
         self._rng = random.Random(seed)
         self._requests_seen = 0
         self._replies_seen = 0
+        self._sends_by_kind: Dict[str, int] = {}
+        self._recvs_by_kind: Dict[str, int] = {}
 
     def request_action(self) -> Optional[str]:
         """Fault to apply to the next outgoing request frame, if any."""
@@ -134,17 +152,38 @@ class FaultInjector:
             return self.DROP
         return None
 
+    def crash_after_send(self, kind: "MessageKind") -> bool:
+        """Whether the process must die now, having sent this frame."""
+        planned = self.crash_sends.get(kind.value)
+        if planned is None:
+            return False
+        seen = self._sends_by_kind.get(kind.value, 0) + 1
+        self._sends_by_kind[kind.value] = seen
+        return seen == planned
+
+    def crash_on_receive(self, kind: "MessageKind") -> bool:
+        """Whether the process must die now, before handling this frame."""
+        planned = self.crash_recvs.get(kind.value)
+        if planned is None:
+            return False
+        seen = self._recvs_by_kind.get(kind.value, 0) + 1
+        self._recvs_by_kind[kind.value] = seen
+        return seen == planned
+
     @classmethod
     def parse(cls, spec: str) -> "FaultInjector":
         """Build an injector from a CLI spec.
 
         ``spec`` is a comma-separated list of ``drop-request=N``,
-        ``dup-request=N``, ``drop-reply=N``, ``loss=RATE`` and
-        ``seed=N`` clauses, e.g. ``drop-request=1,drop-reply=2``.
+        ``dup-request=N``, ``drop-reply=N``, ``loss=RATE``, ``seed=N``,
+        ``crash-send=KIND:N`` and ``crash-recv=KIND:N`` clauses, e.g.
+        ``drop-request=1,crash-recv=writeback_prepare:1``.
         """
         drop_requests: Set[int] = set()
         duplicate_requests: Set[int] = set()
         drop_replies: Set[int] = set()
+        crash_sends: Dict[str, int] = {}
+        crash_recvs: Dict[str, int] = {}
         loss_rate = 0.0
         seed = 0
         for clause in filter(None, spec.split(",")):
@@ -160,13 +199,21 @@ class FaultInjector:
                     loss_rate = float(value)
                 elif name == "seed":
                     seed = int(value)
+                elif name in ("crash-send", "crash-recv"):
+                    kind, _, ordinal = value.partition(":")
+                    MessageKind(kind)  # reject unknown kinds early
+                    target = (
+                        crash_sends if name == "crash-send" else crash_recvs
+                    )
+                    target[kind] = int(ordinal) if ordinal else 1
                 else:
                     raise ValueError(name)
             except ValueError:
                 raise ValueError(
                     f"bad fault clause {clause!r} (expected "
                     "drop-request=N, dup-request=N, drop-reply=N, "
-                    "loss=RATE or seed=N)"
+                    "loss=RATE, seed=N, crash-send=KIND:N or "
+                    "crash-recv=KIND:N)"
                 ) from None
         return cls(
             drop_requests=drop_requests,
@@ -174,6 +221,8 @@ class FaultInjector:
             drop_replies=drop_replies,
             loss_rate=loss_rate,
             seed=seed,
+            crash_sends=crash_sends,
+            crash_recvs=crash_recvs,
         )
 
 
@@ -195,9 +244,12 @@ class TcpEndpoint(Endpoint):
         kind: MessageKind,
         payload: bytes,
         reply_kind: Optional[MessageKind] = None,
+        timeout: Optional[float] = None,
     ) -> bytes:
         """Run one framed exchange with ``dst``; blocks until replied."""
-        return self.transport.exchange(dst, kind, payload, reply_kind)
+        return self.transport.exchange(
+            dst, kind, payload, reply_kind, timeout=timeout
+        )
 
 
 class _Connection:
@@ -417,8 +469,15 @@ class TcpTransport(Transport):
         kind: MessageKind,
         payload: bytes,
         reply_kind: Optional[MessageKind] = None,
+        timeout: Optional[float] = None,
     ) -> bytes:
-        """Blocking request/response exchange with at-most-once retries."""
+        """Blocking request/response exchange with at-most-once retries.
+
+        ``timeout`` caps the *whole* exchange — connects, retransmits
+        and all — failing it with :class:`TransportError` once elapsed
+        instead of running the full retry schedule (the per-exchange
+        guard of the session fault-tolerance layer).
+        """
         if self._loop is None:
             raise TransportError(
                 f"transport for {self.site_id!r} is not started"
@@ -428,7 +487,8 @@ class TcpTransport(Transport):
                 "exchange() must not be called from the event loop thread"
             )
         future = asyncio.run_coroutine_threadsafe(
-            self._exchange(dst, kind, payload, reply_kind), self._loop
+            self._exchange(dst, kind, payload, reply_kind, timeout),
+            self._loop,
         )
         return future.result()
 
@@ -438,7 +498,11 @@ class TcpTransport(Transport):
         kind: MessageKind,
         payload: bytes,
         reply_kind: Optional[MessageKind],
+        cap: Optional[float] = None,
     ) -> bytes:
+        deadline = (
+            self._loop.time() + cap if cap is not None else None
+        )
         address = await self._resolve(dst)
         exchange_id = next(self._exchange_ids)
         encoded = encode_frame(
@@ -455,6 +519,15 @@ class TcpTransport(Transport):
         last_error: Optional[BaseException] = None
         for timeout in self._retry.timeouts():
             attempts += 1
+            if deadline is not None:
+                remaining = deadline - self._loop.time()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"{kind.value} exchange {self.site_id!r}->"
+                        f"{dst!r} exceeded its {cap}s cap after "
+                        f"{attempts - 1} attempt(s) ({last_error})"
+                    )
+                timeout = min(timeout, remaining)
             try:
                 conn = await self._acquire(dst, address)
             except HandshakeError:
@@ -488,6 +561,13 @@ class TcpTransport(Transport):
                 else:
                     await conn.write(encoded)
                     self.note_message(message)
+                    if self._faults is not None and (
+                        self._faults.crash_after_send(kind)
+                    ):
+                        # Planned death: the frame is on the wire (the
+                        # peer will process it) but this process dies
+                        # before its reply can land.
+                        os._exit(FaultInjector.CRASH_EXIT_CODE)
                     if action == FaultInjector.DUPLICATE:
                         await conn.write(encoded)
                         self.note_message(message)
@@ -750,6 +830,12 @@ class TcpTransport(Transport):
         """Dispatch one request to its handler on the worker pool."""
         try:
             kind = MessageKind(request.kind)
+            if self._faults is not None and (
+                self._faults.crash_on_receive(kind)
+            ):
+                # Planned death: the frame arrived but this process
+                # dies before its handler can run.
+                os._exit(FaultInjector.CRASH_EXIT_CODE)
             message = Message(
                 src=request.src,
                 dst=request.dst,

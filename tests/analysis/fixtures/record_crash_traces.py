@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Regenerate the recorded crash-trace fixtures (fault tolerance).
+
+Runs a deterministic three-space deployment — ground G against two
+exposing homes H and T — through two sessions on one shared trace:
+
+1. a clean session that dirties both homes' trees, so session end
+   runs the full two-phase write-back (a ``writeback-phase`` prepare
+   and commit at each home);
+2. a session that loses H mid-exchange, so the ground aborts
+   (``session-abort``) and synchronously reaps its orphaned state
+   (``orphan-reaped``).
+
+The good trace lands in ``traces/ok/crash_session.trace``; each
+mutant in ``traces/bad/`` violates exactly one fault-tolerance
+obligation, so exactly one of SRPC320–SRPC322 fires per file:
+
+* ``abort_without_reap.trace`` — the reap records are dropped: the
+  abort leaked protected pages and allocation-table entries
+  (SRPC320);
+* ``commit_without_prepare.trace`` — the prepare phases are dropped:
+  the homes committed data they never staged (SRPC321);
+* ``activity_after_reap.trace`` — the ground's reap record is moved
+  before its session's data-plane activity: a live session was
+  reaped under the program (SRPC322).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/record_crash_traces.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.simnet import Network, StatsCollector
+from repro.simnet.tracefmt import save_trace
+from repro.smartrpc import SmartRpcRuntime
+from repro.smartrpc.errors import SessionAbortedError
+from repro.smartrpc.policy import make_policy
+from repro.workloads.traversal import (
+    TREE_EXPOSE,
+    TREE_OPS,
+    bind_tree_expose,
+    tree_expose_client,
+)
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    register_tree_types,
+)
+from repro.xdr import SPARC32
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.view import StructView
+
+HERE = Path(__file__).resolve().parent
+OK = HERE / "traces" / "ok"
+BAD = HERE / "traces" / "bad"
+
+GROUND = "G"
+HOMES = ("H", "T")
+
+
+def record_sessions():
+    """One clean two-phase session, then one aborted by a crash."""
+    network = Network(stats=StatsCollector(trace=True))
+    TypeNameServer(network.add_site("NS"), TypeRegistry())
+    runtimes = {}
+    for site_id in (GROUND,) + HOMES:
+        site = network.add_site(site_id)
+        runtime = SmartRpcRuntime(
+            network,
+            site,
+            SPARC32,
+            resolver=TypeResolver(site, "NS"),
+            policy=make_policy("lazy"),
+        )
+        register_tree_types(runtime)
+        runtime.import_interface(TREE_OPS)
+        runtime.import_interface(TREE_EXPOSE)
+        runtimes[site_id] = runtime
+    for home in HOMES:
+        bind_tree_expose(
+            runtimes[home], build_complete_tree(runtimes[home], 3)
+        )
+    ground = runtimes[GROUND]
+    spec = ground.resolver.resolve(TREE_NODE_TYPE_ID)
+
+    def mark(session, home, value):
+        pointer = tree_expose_client(ground, home).tree_root(session)
+        view = StructView(ground.mem, pointer, spec, ground.arch)
+        view.set("data", value.to_bytes(8, "big"))
+
+    # Session 1: dirty both homes, close cleanly — the session end
+    # stages (prepare) and applies (commit) a write-back at each home.
+    with ground.session() as session:
+        for home in HOMES:
+            mark(session, home, 555)
+
+    # Session 2: H dies after the ground cached and dirtied its root;
+    # the next exchange fails, the ground aborts and self-reaps.
+    try:
+        with ground.session() as session:
+            mark(session, "H", 777)
+            network.crash("H")
+            tree_expose_client(ground, "H").tree_checksum(session)
+        raise SystemExit("session survived a crashed peer")
+    except SessionAbortedError as exc:
+        if not exc.reason.startswith("peer-unreachable:"):
+            raise SystemExit(f"unexpected abort reason {exc.reason!r}")
+
+    return network.stats.events
+
+
+def drop(events, unwanted):
+    return [e for e in events if not unwanted(e)]
+
+
+def hoist_reap_before_activity(events):
+    """Move the ground's reap record before its session's faults."""
+    reap_index = next(
+        i
+        for i, e in enumerate(events)
+        if e.category == "orphan-reaped"
+        and (e.data or {}).get("space") == GROUND
+    )
+    reap = events[reap_index]
+    session = (reap.data or {}).get("session")
+    target = next(
+        i
+        for i, e in enumerate(events)
+        if e.category in ("fault", "write")
+        and (e.data or {}).get("space") == GROUND
+        and (e.data or {}).get("session") == session
+    )
+    if target >= reap_index:
+        raise SystemExit("no data-plane activity precedes the reap")
+    rest = events[:reap_index] + events[reap_index + 1:]
+    return rest[:target] + [reap] + rest[target:]
+
+
+def main() -> None:
+    OK.mkdir(parents=True, exist_ok=True)
+    BAD.mkdir(parents=True, exist_ok=True)
+    events = record_sessions()
+    required = {"session-abort", "orphan-reaped", "writeback-phase"}
+    missing = required - {e.category for e in events}
+    if missing:
+        raise SystemExit(f"recorded trace lacks {sorted(missing)}")
+
+    save_trace(events, OK / "crash_session.trace")
+    save_trace(
+        drop(events, lambda e: e.category == "orphan-reaped"),
+        BAD / "abort_without_reap.trace",
+    )
+    save_trace(
+        drop(
+            events,
+            lambda e: e.category == "writeback-phase"
+            and (e.data or {}).get("phase") == "prepare",
+        ),
+        BAD / "commit_without_prepare.trace",
+    )
+    save_trace(
+        hoist_reap_before_activity(events),
+        BAD / "activity_after_reap.trace",
+    )
+    print(
+        f"recorded {len(events)} events into {OK} and 3 crash "
+        f"mutants into {BAD}"
+    )
+
+
+if __name__ == "__main__":
+    main()

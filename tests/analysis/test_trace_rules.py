@@ -65,6 +65,28 @@ class TestRecordedSession:
         } <= seen
 
 
+class TestRecordedCrashSession:
+    """``ok/crash_session.trace`` (see ``record_crash_traces.py``): a
+    clean two-phase write-back session followed by one a peer crash
+    aborts — the fault-tolerance obligations all discharge."""
+
+    def test_good_crash_trace_is_clean(self):
+        assert codes(lint_trace(TRACES / "ok" / "crash_session.trace")) == []
+
+    def test_crash_trace_covers_fault_tolerance_categories(self):
+        events = load_trace(TRACES / "ok" / "crash_session.trace")
+        seen = {event.category for event in events}
+        assert {
+            "session-abort", "orphan-reaped", "writeback-phase",
+        } <= seen
+        phases = {
+            (event.data or {}).get("phase")
+            for event in events
+            if event.category == "writeback-phase"
+        }
+        assert phases == {"prepare", "commit"}
+
+
 @pytest.mark.parametrize(
     "trace, code",
     [
@@ -80,6 +102,9 @@ class TestRecordedSession:
         ("batch_uncovered_fault.trace", "SRPC310"),
         ("batch_overlapping_prefetch.trace", "SRPC310"),
         ("batch_absorb_unissued.trace", "SRPC310"),
+        ("abort_without_reap.trace", "SRPC320"),
+        ("commit_without_prepare.trace", "SRPC321"),
+        ("activity_after_reap.trace", "SRPC322"),
     ],
 )
 class TestMutatedTraces:

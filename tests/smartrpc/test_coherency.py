@@ -162,7 +162,7 @@ class TestSessionEnd:
         self, smart_pair
     ):
         """If the GROUND space caches and modifies remote data, session
-        end must push it back with WRITE_BACK messages."""
+        end must push it back with a prepare/commit exchange pair."""
         runtime_c = smart_pair.add_runtime("C")
         root = build_complete_tree(runtime_c, 3)
 
@@ -196,11 +196,8 @@ class TestSessionEnd:
                 smart_pair.a.mem, pointer, spec, smart_pair.a.arch
             )
             view.set("data", (555).to_bytes(8, "big"))
-        # Session closed: the dirty page was written back to C.
-        assert (
-            smart_pair.network.stats.messages_by_kind[
-                MessageKind.WRITE_BACK
-            ]
-            == 1
-        )
+        # Session closed: the dirty page was staged and committed at C.
+        counts = smart_pair.network.stats.messages_by_kind
+        assert counts[MessageKind.WRITEBACK_PREPARE] == 1
+        assert counts[MessageKind.WRITEBACK_COMMIT] == 1
         assert data_of(runtime_c, root) == 555

@@ -116,6 +116,9 @@ class TestPresets:
             "batch_window": 0,
             "max_inflight": 0,
             "prefetch_depth": 0,
+            "session_deadline": 0.0,
+            "exchange_timeout": 0.0,
+            "orphan_grace": 0.0,
         }
 
 

@@ -19,7 +19,6 @@ conformance rule.
 import os
 import subprocess
 import sys
-import time
 from pathlib import Path
 
 import pytest
@@ -30,7 +29,7 @@ from repro.analysis.diagnostics import DiagnosticCollector
 from repro.namesvc.directory import DirectoryClient, DirectoryError
 from repro.simnet.stats import StatsCollector
 from repro.simnet.tracefmt import load_trace, save_trace
-from repro.transport.host import make_space
+from repro.transport.host import make_space, query_status
 from repro.transport.tcp import FaultInjector
 from repro.transport.tracemerge import merge_trace_files
 from repro.workloads.traversal import (
@@ -226,7 +225,13 @@ def test_heartbeat_keeps_liveness_fresh(deployment):
     )
     try:
         directory = DirectoryClient(transport.endpoint, "NS")
-        time.sleep(1.5)  # > two of B's 0.5 s heartbeat intervals
+        # Readiness barrier instead of a wall-clock sleep: B's host
+        # blocks this exchange until it has heartbeated twice, so the
+        # lookup below observes a provably fresh liveness age.
+        status = query_status(
+            transport.endpoint, "B", min_heartbeats=2, max_wait=10.0
+        )
+        assert status["heartbeats"] >= 2
         _, _, age = directory.lookup("B")
         assert age < 1.5
     finally:

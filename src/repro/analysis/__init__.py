@@ -7,7 +7,10 @@ Three layers over one diagnostic engine:
 * :mod:`repro.analysis.trace_rules` — offline conformance checking of
   recorded coherency-protocol traces (``SRPC1xx``);
 * :mod:`repro.smartrpc.validate` — live session-state invariants
-  reported through the same vocabulary (``SRPC2xx``).
+  reported through the same vocabulary (``SRPC2xx``);
+* :mod:`repro.analysis.sanitizer` — the coherency sanitizer: vector
+  clock happens-before race detection over protocol traces
+  (``SRPC4xx``), run via ``python -m repro.analysis race``.
 
 The CLI front end is ``python -m repro.analysis``; see
 :mod:`repro.analysis.cli`.

@@ -4,6 +4,7 @@ Run as ``python -m repro.analysis``::
 
     python -m repro.analysis examples/interfaces/inventory.x
     python -m repro.analysis run.trace --json
+    python -m repro.analysis race merged.jsonl
     python -m repro.analysis --self-check
 
 Positional arguments are files to lint.  ``.x`` files go through the
@@ -12,6 +13,12 @@ conflicts surface as ``SRPC008``); everything else is treated as a
 JSON-lines trace log and replayed through the conformance rules
 (``SRPC1xx``).  Directories are scanned recursively for ``.x`` and
 ``.trace`` files.
+
+The ``race`` subcommand runs the coherency sanitizer instead: it
+rebuilds the happens-before order of each trace from its vector-clock
+stamps and reports races (``SRPC4xx``) — see
+:mod:`repro.analysis.sanitizer`.  It takes the same ``--json``,
+``--suppress`` and ``--self-check`` options.
 
 Options:
 
@@ -38,7 +45,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis import idl_rules, trace_rules
+from repro.analysis import idl_rules, sanitizer, trace_rules
 from repro.analysis.diagnostics import DiagnosticCollector
 from repro.analysis.render import render_json, render_text
 
@@ -46,6 +53,7 @@ from repro.analysis.render import render_json, render_text
 SELF_CHECK_PATHS = (
     "examples/interfaces",
     "tests/analysis/fixtures/traces/ok",
+    "tests/analysis/fixtures/races/ok",
 )
 
 _TRACE_SUFFIXES = (".trace", ".jsonl")
@@ -53,6 +61,10 @@ _TRACE_SUFFIXES = (".trace", ".jsonl")
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "race":
+        return _race_main(argv[1:])
     parser = _build_parser()
     options = parser.parse_args(argv)
     suppress = _gather_suppressions(options.suppress)
@@ -83,6 +95,102 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(report)
     return _exit_status(collector)
+
+
+def _race_main(argv: Sequence[str]) -> int:
+    """The ``race`` subcommand: the coherency sanitizer over traces."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis race",
+        description="Happens-before race detection (SRPC4xx) over "
+        "recorded protocol traces (the coherency sanitizer).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="trace logs or directories to sanitize",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON report instead of text",
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes to drop (repeatable)",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="sanitize the repository's recorded good traces; any "
+        "finding fails",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="repository root for --self-check (default: cwd)",
+    )
+    options = parser.parse_args(argv)
+    suppress = _gather_suppressions(options.suppress)
+
+    if options.self_check:
+        if options.paths:
+            parser.error("--self-check takes no positional paths")
+        trace_paths, missing = _self_check_traces(Path(options.root))
+        if not trace_paths:
+            print(
+                "error: --self-check found no recorded traces under "
+                + ", ".join(SELF_CHECK_PATHS),
+                file=sys.stderr,
+            )
+            return 2
+        collector = sanitizer.analyze_trace_files(
+            trace_paths, suppress=suppress
+        )
+        if not options.json:
+            print(f"self-check: {len(trace_paths)} trace(s) sanitized")
+            for relative in missing:
+                print(f"self-check: skipped missing {relative}")
+        print(
+            render_json(collector)
+            if options.json
+            else render_text(collector)
+        )
+        return 1 if len(collector) else 0
+
+    if not options.paths:
+        parser.error("no traces to sanitize (or use --self-check)")
+    try:
+        _, trace_paths = _partition(options.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    collector = sanitizer.analyze_trace_files(
+        trace_paths, suppress=suppress
+    )
+    print(
+        render_json(collector)
+        if options.json
+        else render_text(collector)
+    )
+    return _exit_status(collector)
+
+
+def _self_check_traces(root: Path) -> Tuple[List[Path], List[str]]:
+    """(trace files, missing dirs) under the self-check paths."""
+    traces: List[Path] = []
+    missing: List[str] = []
+    for relative in SELF_CHECK_PATHS:
+        candidate = root / relative
+        if not candidate.exists():
+            missing.append(relative)
+            continue
+        for suffix in _TRACE_SUFFIXES:
+            traces.extend(sorted(candidate.rglob(f"*{suffix}")))
+    return traces, missing
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -186,6 +294,8 @@ def _self_check(options, suppress: List[str]) -> int:
     )
     for path in trace_paths:
         trace_rules.analyze_trace_file(path, collector)
+        # The recorded good traces must also be race-free (SRPC4xx).
+        sanitizer.analyze_trace_file(path, collector)
 
     report = (
         render_json(collector) if options.json else render_text(collector)

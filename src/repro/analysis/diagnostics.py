@@ -5,8 +5,9 @@ trace conformance checker, and the session invariant validator —
 reports problems through one vocabulary: a :class:`Diagnostic` carries
 a rule code (``SRPC0xx`` for interface analysis, ``SRPC1xx`` for trace
 conformance, ``SRPC2xx`` for session invariants, ``SRPC3xx`` for
-transfer-policy conformance), a severity, a message, and an optional
-source location (``file:line:col``).
+transfer-policy conformance, ``SRPC4xx`` for happens-before races
+found by the coherency sanitizer), a severity, a message, and an
+optional source location (``file:line:col``).
 
 :class:`DiagnosticCollector` accumulates diagnostics with per-rule
 suppression, and the renderers in :mod:`repro.analysis.render` turn
@@ -137,6 +138,25 @@ _CATALOG: List[Rule] = [
     Rule("SRPC322", Severity.ERROR,
          "space kept using a session's data plane after reaping it "
          "(fault, write or data-batch activity after orphan-reaped)"),
+    # -- happens-before race rules (SRPC4xx, the coherency sanitizer) -----
+    Rule("SRPC400", Severity.ERROR,
+         "data race: two writes in one session with concurrent vector "
+         "clocks (no happens-before order)"),
+    Rule("SRPC401", Severity.ERROR,
+         "stale read: a page fault observed a version older than a "
+         "happens-before-earlier write to the same page"),
+    Rule("SRPC402", Severity.ERROR,
+         "lost invalidation: the end-of-session invalidation is "
+         "concurrent with data-plane activity at its target space"),
+    Rule("SRPC403", Severity.ERROR,
+         "use-after-invalidate: data-plane activity at a space "
+         "causally after its session's invalidation"),
+    Rule("SRPC404", Severity.ERROR,
+         "lost update: a write is not happens-before any write-back "
+         "commit at the written datum's home space"),
+    Rule("SRPC405", Severity.ERROR,
+         "distributed deadlock: waits-for cycle of dangling exchanges "
+         "(requests whose reply never appears)"),
 ]
 
 RULES: Dict[str, Rule] = {rule.code: rule for rule in _CATALOG}

@@ -151,6 +151,32 @@ class RpcRuntime:
         """The shared statistics collector."""
         return self.network.stats
 
+    def trace_event(
+        self,
+        category: str,
+        detail: str,
+        session: Optional[str] = None,
+        **data: Any,
+    ) -> None:
+        """Record one causally stamped protocol event at this site.
+
+        Every protocol-plane emitter goes through here so each event
+        carries the schema's required fields: the ``session`` it
+        belongs to plus the endpoint's ``site`` / ``seq`` / ``vc``
+        stamp (:meth:`repro.transport.base.Endpoint.stamp`).  A no-op
+        when tracing is off, so benchmark runs never tick clocks for
+        events nobody records.
+        """
+        if not self.stats.tracing:
+            return
+        payload: Dict[str, Any] = dict(data)
+        if session is not None:
+            payload["session"] = session
+        payload.update(self.site.stamp(session))
+        self.stats.record_event(
+            self.clock.now, category, detail, data=payload
+        )
+
     # -- typed heap convenience -----------------------------------------------
 
     def malloc(self, type_id: str) -> int:
@@ -404,21 +430,18 @@ class RpcRuntime:
         protocol to conform to.
         """
         size = len(piggyback) if self._piggyback_expected else None
-        self.stats.record_event(
-            self.clock.now,
+        self.trace_event(
             "transfer",
             f"{src}->{dst} {direction} {qualified} "
             f"(session {state.session_id}, piggyback "
             f"{size if size is not None else 'n/a'})",
-            data={
-                "dir": direction,
-                "session": state.session_id,
-                "ground": state.ground_site,
-                "src": src,
-                "dst": dst,
-                "proc": qualified,
-                "piggyback": size,
-            },
+            session=state.session_id,
+            ground=state.ground_site,
+            dir=direction,
+            src=src,
+            dst=dst,
+            proc=qualified,
+            piggyback=size,
         )
 
     # -- extension hooks ------------------------------------------------------

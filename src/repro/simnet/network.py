@@ -218,13 +218,15 @@ class Network(Transport):
             # The peer is dead: every retransmission times out and the
             # exchange fails, exactly like the TCP transport's
             # exhausted retry schedule.
-            self._timeout()
+            self._timeout(src)
             raise TransportError(
                 f"{kind} exchange {src!r}->{dst!r} failed: "
                 f"destination site {dst!r} has crashed"
             )
+        source = self._sites[src]
         if self._count_frame(dst, "recv", kind):
-            # The receiver dies before processing this frame.
+            # The receiver dies before processing this frame — its
+            # clock never observes the sender's (no delivery merge).
             message = Message(src=src, dst=dst, kind=kind, payload=payload)
             self._charge(message)
             self.crash(dst)
@@ -238,6 +240,7 @@ class Network(Transport):
             # sender (one legal interleaving of a mid-exchange crash).
             message = Message(src=src, dst=dst, kind=kind, payload=payload)
             self._charge(message)
+            destination.vclock.merge(source.vclock.snapshot())
             destination.handle(message)
             self.crash(src)
             raise TransportError(
@@ -248,6 +251,10 @@ class Network(Transport):
             # Reliable fast path: no exchange ids, no reply caching.
             message = Message(src=src, dst=dst, kind=kind, payload=payload)
             self._charge(message)
+            # Piggybacked vector clock: the receiver observes the
+            # sender's clock before handling, and the reply carries the
+            # receiver's clock back (synchronous delivery is the ack).
+            destination.vclock.merge(source.vclock.snapshot())
             response = destination.handle(message)
             if reply_kind is None:
                 if response:
@@ -255,19 +262,22 @@ class Network(Transport):
                         f"one-way {kind} message to {dst!r} produced "
                         "a reply"
                     )
+                source.vclock.merge(destination.vclock.snapshot())
                 return b""
             reply = Message(
                 src=dst, dst=src, kind=reply_kind, payload=response
             )
             self._charge(reply)
+            source.vclock.merge(destination.vclock.snapshot())
             return response
         exchange_id = next(_exchange_ids)
         for _ in range(_MAX_ATTEMPTS):
             message = Message(src=src, dst=dst, kind=kind, payload=payload)
             self._charge(message)
             if self._lost():
-                self._timeout()
+                self._timeout(src)
                 continue
+            destination.vclock.merge(source.vclock.snapshot())
             response = destination.handle_at_most_once(
                 exchange_id, message
             )
@@ -277,14 +287,16 @@ class Network(Transport):
                         f"one-way {kind} message to {dst!r} produced "
                         "a reply"
                     )
+                source.vclock.merge(destination.vclock.snapshot())
                 return b""
             reply = Message(
                 src=dst, dst=src, kind=reply_kind, payload=response
             )
             self._charge(reply)
             if self._lost():
-                self._timeout()
+                self._timeout(src)
                 continue
+            source.vclock.merge(destination.vclock.snapshot())
             return response
         raise TransportError(
             f"{kind} exchange {src!r}->{dst!r} failed after "
@@ -304,10 +316,14 @@ class Network(Transport):
     def _lost(self) -> bool:
         return self.loss_rate > 0.0 and self._rng.random() < self.loss_rate
 
-    def _timeout(self) -> None:
+    def _timeout(self, src: Optional[str] = None) -> None:
         self.clock.advance(self.retransmit_timeout)
-        self.note_timeout()
+        self.note_timeout(site=src)
 
     def _charge(self, message: Message) -> None:
         self.clock.advance(self.cost_model.message_cost(message.size))
-        self.note_message(message)
+        sender = self._sites.get(message.src)
+        stamp = None
+        if sender is not None and self.stats.tracing:
+            stamp = sender.stamp()
+        self.note_message(message, stamp=stamp)

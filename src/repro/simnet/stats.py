@@ -147,6 +147,16 @@ class StatsCollector:
 
     # -- tracing ----------------------------------------------------------
 
+    @property
+    def tracing(self) -> bool:
+        """Whether events are being recorded.
+
+        Emitters that do per-event work beyond building the event —
+        vector-clock stamping, say — check this first so benchmark runs
+        (tracing off) pay nothing.
+        """
+        return self._trace_enabled
+
     def record_event(
         self,
         time: float,

@@ -58,6 +58,65 @@ class TraceFormatError(ValueError):
     """A trace log line could not be parsed back into a TraceEvent."""
 
 
+#: Trace schema revision.  Revision 2 (the coherency-sanitizer rev)
+#: requires every session-scoped protocol event to carry ``session``,
+#: ``site``, a per-(site, session) monotonic ``seq`` and a vector-clock
+#: ``vc`` stamp.  :func:`load_trace` still reads revision-1 logs (the
+#: sanitizer derives clocks for them); :func:`save_trace` enforces the
+#: current revision at write time.
+TRACE_SCHEMA = 2
+
+#: Every session-scoped protocol event category; schema revision 2
+#: requires the stamp fields on each of these.  Carrier-level events
+#: (``message`` / ``timeout`` / ``loss``) are exempt: they may be
+#: recorded where no session context exists.
+SESSION_CATEGORIES = frozenset({
+    "transfer", "fault", "write",
+    "session-end", "write-back", "invalidate",
+    "policy", "policy-decision", "data-batch",
+    "session-abort", "orphan-reaped", "writeback-phase",
+})
+
+
+def validate_event(event: TraceEvent, lineno: int = 0) -> None:
+    """Check one event against the current trace schema revision.
+
+    Raises :class:`TraceFormatError` naming the missing or malformed
+    field, so an emitter bug fails at record time instead of surfacing
+    as a puzzling analysis result later.
+    """
+    if event.category not in SESSION_CATEGORIES:
+        return
+    where = f"line {lineno}: {event.category} event"
+    data = event.data
+    if data is None:
+        raise TraceFormatError(f"{where} has no data fields")
+    session = data.get("session")
+    if not isinstance(session, str) or not session:
+        raise TraceFormatError(
+            f"{where} has no session id (got {session!r})"
+        )
+    site = data.get("site")
+    if not isinstance(site, str) or not site:
+        raise TraceFormatError(f"{where} has no site id (got {site!r})")
+    seq = data.get("seq")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        raise TraceFormatError(
+            f"{where} has no monotonic sequence (got {seq!r})"
+        )
+    vc = data.get("vc")
+    if not isinstance(vc, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, int)
+        and not isinstance(v, bool)
+        and v >= 0
+        for k, v in vc.items()
+    ):
+        raise TraceFormatError(
+            f"{where} has no vector-clock stamp (got {vc!r})"
+        )
+
+
 def event_to_json(event: TraceEvent) -> str:
     """Serialize one event as a single JSON line (no newline)."""
     record = {"t": event.time, "category": event.category,
@@ -116,11 +175,24 @@ def parse_trace(text: str) -> List[TraceEvent]:
 
 
 def save_trace(
-    events: Union[Iterable[TraceEvent], StatsCollector], path
+    events: Union[Iterable[TraceEvent], StatsCollector],
+    path,
+    validate: bool = True,
 ) -> None:
-    """Write a trace log (one JSON object per line) to ``path``."""
+    """Write a trace log (one JSON object per line) to ``path``.
+
+    Events are validated against the current schema revision
+    (:data:`TRACE_SCHEMA`) before anything is written, so a malformed
+    event fails at record time with nothing on disk.  ``validate=False``
+    is the escape hatch for deliberately writing non-conforming traces
+    (the mutant-fixture recorders).
+    """
     if isinstance(events, StatsCollector):
         events = events.events
+    events = list(events)
+    if validate:
+        for lineno, event in enumerate(events, start=1):
+            validate_event(event, lineno)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(dump_trace(events))
 

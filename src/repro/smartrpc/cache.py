@@ -51,6 +51,10 @@ class PageState:
     bump: int = 0
     closed: bool = False
     dirty: bool = False
+    #: Write generation of the page's contents, bumped on each traced
+    #: modification; faults record the version they observe so the
+    #: offline sanitizer can detect stale reads (SRPC401).
+    version: int = 0
     entries: List[AllocEntry] = field(default_factory=list)
     span_of: Optional[AllocEntry] = None
 
@@ -319,17 +323,15 @@ class CacheManager:
         page = self.page_state(fault.page_number)
         protection = self.space.protection_of(fault.page_number)
         kind = "write" if fault.kind is FaultKind.WRITE else "read"
-        self.runtime.stats.record_event(
-            self.runtime.clock.now,
+        self.runtime.trace_event(
             "fault",
             f"{self.runtime.site_id}: page {fault.page_number} "
             f"{kind} fault (session {self.state.session_id})",
-            data={
-                "space": self.runtime.site_id,
-                "session": self.state.session_id,
-                "page": fault.page_number,
-                "kind": kind,
-            },
+            session=self.state.session_id,
+            space=self.runtime.site_id,
+            page=fault.page_number,
+            kind=kind,
+            version=page.version,
         )
         if protection is Protection.NONE:
             self._fill(page)
@@ -427,19 +429,19 @@ class CacheManager:
             )
         page.dirty = True
         page.closed = True
+        page.version += 1
         self.dirty_pages.add(page_number)
         self.space.protect(page_number, Protection.READ_WRITE)
         self.runtime.stats.write_faults += 1
-        self.runtime.stats.record_event(
-            self.runtime.clock.now,
+        self.runtime.trace_event(
             "write",
             f"{self.runtime.site_id}: page {page_number} marked dirty "
             f"(session {self.state.session_id})",
-            data={
-                "space": self.runtime.site_id,
-                "session": self.state.session_id,
-                "page": page_number,
-            },
+            session=self.state.session_id,
+            space=self.runtime.site_id,
+            page=page_number,
+            home=page.home,
+            version=page.version,
         )
 
     def dirty_entries(self) -> List[AllocEntry]:

@@ -117,17 +117,14 @@ def end_session(
         home = item.pointer.space_id
         if home != runtime.site_id:
             dirty_homes[home] = dirty_homes.get(home, 0) + 1
-    runtime.stats.record_event(
-        runtime.clock.now,
+    runtime.trace_event(
         "session-end",
         f"{runtime.site_id}: session {state.session_id} ends "
         f"(participants {participants}, dirty homes {dirty_homes})",
-        data={
-            "space": runtime.site_id,
-            "session": state.session_id,
-            "participants": participants,
-            "dirty_homes": dict(dirty_homes),
-        },
+        session=state.session_id,
+        space=runtime.site_id,
+        participants=participants,
+        dirty_homes=dict(dirty_homes),
     )
     _write_back(runtime, state)
     for participant in participants:
@@ -141,16 +138,13 @@ def end_session(
             # The write-back already committed; a dead participant
             # cleans itself up when its orphan reaper fires.
             continue
-        runtime.stats.record_event(
-            runtime.clock.now,
+        runtime.trace_event(
             "invalidate",
             f"{runtime.site_id}: session {state.session_id} "
             f"invalidated at {participant}",
-            data={
-                "space": runtime.site_id,
-                "session": state.session_id,
-                "dst": participant,
-            },
+            session=state.session_id,
+            space=runtime.site_id,
+            dst=participant,
         )
     state.cache.invalidate()
     state.relayed_dirty.clear()
@@ -199,17 +193,14 @@ def _write_back(
             reply_kind=MessageKind.WRITEBACK_COMMIT_ACK,
         )
         runtime.stats.write_backs += 1
-        runtime.stats.record_event(
-            runtime.clock.now,
+        runtime.trace_event(
             "write-back",
             f"{runtime.site_id}: session {state.session_id} wrote "
             f"{len(by_home[home])} item(s) back to {home}",
-            data={
-                "space": runtime.site_id,
-                "session": state.session_id,
-                "home": home,
-                "items": len(by_home[home]),
-            },
+            session=state.session_id,
+            space=runtime.site_id,
+            home=home,
+            items=len(by_home[home]),
         )
 
 
@@ -225,19 +216,16 @@ def _record_phase(
     ground crash: the SRPC321 conformance rule checks every commit at
     a space against that same space's earlier prepare.
     """
-    runtime.stats.record_event(
-        runtime.clock.now,
+    runtime.trace_event(
         "writeback-phase",
         f"{runtime.site_id}: session {state.session_id} write-back "
         f"{phase} ({size} staged byte(s))",
-        data={
-            "space": runtime.site_id,
-            "session": state.session_id,
-            "ground": state.ground_site,
-            "home": runtime.site_id,
-            "phase": phase,
-            "bytes": size,
-        },
+        session=state.session_id,
+        space=runtime.site_id,
+        ground=state.ground_site,
+        home=runtime.site_id,
+        phase=phase,
+        bytes=size,
     )
 
 

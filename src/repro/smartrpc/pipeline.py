@@ -489,22 +489,19 @@ class FetchPipeline:
         coalesced: int,
         issued_at: float,
     ) -> None:
-        self.runtime.stats.record_event(
-            self.runtime.clock.now,
+        self.runtime.trace_event(
             "data-batch",
             f"{self.runtime.site_id}: {kind} fetch #{fetch_id} from "
             f"{home} covering {len(pages)} page(s) "
             f"({roots} root(s), {coalesced} coalesced)",
-            data={
-                "space": self.runtime.site_id,
-                "session": self.state.session_id,
-                "home": home,
-                "kind": kind,
-                "fetch_id": fetch_id,
-                "pages": sorted(pages),
-                "faults": list(faults),
-                "roots": roots,
-                "coalesced": coalesced,
-                "issued_at": issued_at,
-            },
+            session=self.state.session_id,
+            space=self.runtime.site_id,
+            home=home,
+            kind=kind,
+            fetch_id=fetch_id,
+            pages=sorted(pages),
+            faults=list(faults),
+            roots=roots,
+            coalesced=coalesced,
+            issued_at=issued_at,
         )

@@ -97,17 +97,14 @@ class SmartSessionState(SessionState):
         self.staged_writeback: Optional[bytes] = None
         self.abort_reason: Optional[str] = None
         self.opened_at = runtime.clock.now
-        runtime.stats.record_event(
-            runtime.clock.now,
+        runtime.trace_event(
             "policy",
             f"{runtime.site_id}: session {session_id} under policy "
             f"{self.policy.name!r}",
-            data={
-                "space": runtime.site_id,
-                "session": session_id,
-                "ground": ground_site,
-                **self.policy.describe(),
-            },
+            session=session_id,
+            space=runtime.site_id,
+            ground=ground_site,
+            **self.policy.describe(),
         )
 
 
@@ -419,17 +416,14 @@ class SmartRpcRuntime(RpcRuntime):
         state.closed = True
         self._sessions.pop(state.session_id, None)
         self.stats.sessions_aborted += 1
-        self.stats.record_event(
-            self.clock.now,
+        self.trace_event(
             "session-abort",
             f"{self.site_id}: session {state.session_id} aborted "
             f"({reason})",
-            data={
-                "space": self.site_id,
-                "session": state.session_id,
-                "ground": state.ground_site,
-                "reason": reason,
-            },
+            session=state.session_id,
+            space=self.site_id,
+            ground=state.ground_site,
+            reason=reason,
         )
         if notify and state.ground_site == self.site_id:
             # The notify is best-effort, so don't let a dead peer's
@@ -453,16 +447,13 @@ class SmartRpcRuntime(RpcRuntime):
                 except TransportError:
                     # Dead peers clean up via their own reapers.
                     continue
-                self.stats.record_event(
-                    self.clock.now,
+                self.trace_event(
                     "invalidate",
                     f"{self.site_id}: session {state.session_id} "
                     f"invalidated at {participant}",
-                    data={
-                        "space": self.site_id,
-                        "session": state.session_id,
-                        "dst": participant,
-                    },
+                    session=state.session_id,
+                    space=self.site_id,
+                    dst=participant,
                 )
         self._reap_state(state, reason)
 
@@ -476,19 +467,16 @@ class SmartRpcRuntime(RpcRuntime):
         state.pending_frees.clear()
         state.staged_writeback = None
         self.stats.orphans_reaped += 1
-        self.stats.record_event(
-            self.clock.now,
+        self.trace_event(
             "orphan-reaped",
             f"{self.site_id}: session {state.session_id} reaped "
             f"({pages} page(s), {entries} table entr(ies), {reason})",
-            data={
-                "space": self.site_id,
-                "session": state.session_id,
-                "ground": state.ground_site,
-                "pages": pages,
-                "entries": entries,
-                "reason": reason,
-            },
+            session=state.session_id,
+            space=self.site_id,
+            ground=state.ground_site,
+            pages=pages,
+            entries=entries,
+            reason=reason,
         )
 
     def reap_orphans(

@@ -265,23 +265,20 @@ def apply_reply(
     )
     shipped = ledger.closure_bytes_shipped - shipped_before
     prefetched = ledger.prefetch_bytes_shipped - prefetch_before
-    runtime.stats.record_event(
-        runtime.clock.now,
+    runtime.trace_event(
         "policy-decision",
         f"{runtime.site_id}: request to {home} under policy "
         f"{policy.name!r} (budget {budget}, {order}; shipped {shipped} B, "
         f"prefetched {prefetched} B)",
-        data={
-            "space": runtime.site_id,
-            "session": state.session_id,
-            "policy": policy.name,
-            "budget": budget,
-            "order": order,
-            "home": home,
-            "roots": len(requested),
-            "shipped_bytes": shipped,
-            "prefetch_bytes": prefetched,
-        },
+        session=state.session_id,
+        space=runtime.site_id,
+        policy=policy.name,
+        budget=budget,
+        order=order,
+        home=home,
+        roots=len(requested),
+        shipped_bytes=shipped,
+        prefetch_bytes=prefetched,
     )
     return applied
 

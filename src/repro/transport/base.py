@@ -36,6 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simnet.message import Message, MessageKind
     from repro.simnet.stats import StatsCollector
 
+from repro.transport.vclock import VectorClock
+
 Handler = Callable[["Message"], bytes]
 
 
@@ -148,6 +150,21 @@ class Endpoint(abc.ABC):
         self.site_id = site_id
         self._handlers: Dict[MessageKind, Handler] = {}
         self.reply_cache = ReplyCache(reply_cache_limit)
+        self.vclock = VectorClock(site_id)
+
+    def stamp(self, session: Optional[str] = None) -> Dict[str, object]:
+        """Causal stamp for one trace event recorded at this site.
+
+        Ticks the site's vector clock and returns the ``site`` /
+        ``seq`` / ``vc`` triple every protocol event carries: the
+        recording site, a per-(site, session) monotonic sequence, and
+        the post-tick vector-clock snapshot.
+        """
+        return {
+            "site": self.site_id,
+            "seq": self.vclock.next_seq(session),
+            "vc": self.vclock.tick(),
+        }
 
     def register_handler(self, kind: MessageKind, handler: Handler) -> None:
         """Install ``handler`` for incoming messages of ``kind``."""
@@ -244,28 +261,42 @@ class Transport(abc.ABC):
 
     # -- shared accounting ----------------------------------------------------
 
-    def note_message(self, message: Message) -> None:
+    def note_message(
+        self, message: Message, stamp: Optional[dict] = None
+    ) -> None:
         """Count and trace one transmitted message.
 
         Both backends record the same ``message`` event shape, so the
         offline trace tooling (:mod:`repro.simnet.tracefmt`,
         :mod:`repro.analysis.trace_rules`) reads simulated and real
-        runs identically.
+        runs identically.  ``stamp`` is the sending endpoint's causal
+        stamp (:meth:`Endpoint.stamp`) when the carrier has one in
+        hand.
         """
         self.stats.record_message(message)
+        data = {
+            "src": message.src,
+            "dst": message.dst,
+            "kind": message.kind.value,
+            "size": message.size,
+        }
+        if stamp:
+            data.update(stamp)
         self.stats.record_event(
             self.clock.now,
             "message",
             f"{message.src}->{message.dst} {message.kind.value} "
             f"{message.size}B",
-            data={
-                "src": message.src,
-                "dst": message.dst,
-                "kind": message.kind.value,
-                "size": message.size,
-            },
+            data=data,
         )
 
-    def note_timeout(self, detail: str = "retransmitting") -> None:
-        """Trace one retransmission timeout."""
-        self.stats.record_event(self.clock.now, "timeout", detail)
+    def note_timeout(
+        self, detail: str = "retransmitting", site: Optional[str] = None
+    ) -> None:
+        """Trace one retransmission timeout at ``site`` (the sender)."""
+        self.stats.record_event(
+            self.clock.now,
+            "timeout",
+            detail,
+            data={"site": site} if site else None,
+        )

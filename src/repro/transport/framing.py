@@ -33,7 +33,8 @@ from repro.xdr.errors import XdrError
 from repro.xdr.stream import XdrDecoder, XdrEncoder
 
 #: Current wire protocol version, sent in every HELLO/WELCOME.
-PROTOCOL_VERSION = 1
+#: Version 2 added the piggybacked vector clock on REQUEST/REPLY.
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame body; guards against garbage length words.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
@@ -101,6 +102,9 @@ class Request:
     kind: str
     expects_reply: bool
     payload: bytes
+    #: Sender's vector clock, piggybacked for causal trace stamping:
+    #: sorted ``(site id, tick count)`` pairs.
+    clock: Tuple[Tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -110,6 +114,8 @@ class Reply:
     exchange_id: int
     status: int
     payload: bytes
+    #: Responder's vector clock at reply time (see :class:`Request`).
+    clock: Tuple[Tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -127,6 +133,28 @@ class Pong:
 
 
 Frame = Union[Hello, Welcome, Goodbye, Request, Reply, Ping, Pong]
+
+
+def clock_to_wire(clock) -> Tuple[Tuple[str, int], ...]:
+    """Normalize a vector-clock mapping into its wire form."""
+    return tuple(sorted((str(k), int(v)) for k, v in dict(clock).items()))
+
+
+def _encode_clock(
+    encoder: XdrEncoder, clock: Tuple[Tuple[str, int], ...]
+) -> None:
+    encoder.pack_uint32(len(clock))
+    for site, count in clock:
+        encoder.pack_string(site)
+        encoder.pack_uint64(count)
+
+
+def _decode_clock(decoder: XdrDecoder) -> Tuple[Tuple[str, int], ...]:
+    count = decoder.unpack_uint32()
+    return tuple(
+        (decoder.unpack_string(), decoder.unpack_uint64())
+        for _ in range(count)
+    )
 
 
 def encode_frame(frame: Frame) -> bytes:
@@ -168,11 +196,13 @@ def encode_frame_into(frame: Frame, encoder: XdrEncoder) -> memoryview:
         encoder.pack_string(frame.dst)
         encoder.pack_string(frame.kind)
         encoder.pack_bool(frame.expects_reply)
+        _encode_clock(encoder, frame.clock)
         encoder.pack_opaque(frame.payload)
     elif isinstance(frame, Reply):
         encoder.pack_uint32(FrameType.REPLY)
         encoder.pack_uint64(frame.exchange_id)
         encoder.pack_uint32(frame.status)
+        _encode_clock(encoder, frame.clock)
         encoder.pack_opaque(frame.payload)
     elif isinstance(frame, Ping):
         encoder.pack_uint32(FrameType.PING)
@@ -224,12 +254,14 @@ def decode_frame(body) -> Frame:
                 dst=decoder.unpack_string(),
                 kind=decoder.unpack_string(),
                 expects_reply=decoder.unpack_bool(),
+                clock=_decode_clock(decoder),
                 payload=decoder.unpack_opaque(),
             )
         elif frame_type is FrameType.REPLY:
             frame = Reply(
                 exchange_id=decoder.unpack_uint64(),
                 status=decoder.unpack_uint32(),
+                clock=_decode_clock(decoder),
                 payload=decoder.unpack_opaque(),
             )
         elif frame_type is FrameType.PING:

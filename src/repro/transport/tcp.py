@@ -65,6 +65,7 @@ from repro.transport.framing import (
     Reply,
     Request,
     Welcome,
+    clock_to_wire,
     decode_frame,
     encode_frame,
     frame_length,
@@ -505,6 +506,9 @@ class TcpTransport(Transport):
         )
         address = await self._resolve(dst)
         exchange_id = next(self._exchange_ids)
+        # Piggyback this site's vector clock on the request; the
+        # responder merges it before running the handler.  The frame is
+        # encoded once, so every retransmission carries the same clock.
         encoded = encode_frame(
             Request(
                 exchange_id=exchange_id,
@@ -513,6 +517,7 @@ class TcpTransport(Transport):
                 kind=kind.value,
                 expects_reply=reply_kind is not None,
                 payload=payload,
+                clock=clock_to_wire(self.endpoint.vclock.tick()),
             )
         )
         attempts = 0
@@ -535,7 +540,8 @@ class TcpTransport(Transport):
             except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 last_error = exc
                 self.note_timeout(
-                    f"connect to {dst!r} failed ({exc}); retrying"
+                    f"connect to {dst!r} failed ({exc}); retrying",
+                    site=self.site_id,
                 )
                 await asyncio.sleep(timeout)
                 continue
@@ -551,16 +557,17 @@ class TcpTransport(Transport):
                 if action == FaultInjector.DROP:
                     # Charged as sent, lost in transit — the simulator's
                     # lossy path does exactly this.
-                    self.note_message(message)
+                    self.note_message(message, stamp=self._stamp())
                     self.stats.record_event(
                         self.clock.now,
                         "loss",
                         f"injected drop of {kind.value} "
                         f"{self.site_id}->{dst}",
+                        data={"site": self.site_id},
                     )
                 else:
                     await conn.write(encoded)
-                    self.note_message(message)
+                    self.note_message(message, stamp=self._stamp())
                     if self._faults is not None and (
                         self._faults.crash_after_send(kind)
                     ):
@@ -570,14 +577,15 @@ class TcpTransport(Transport):
                         os._exit(FaultInjector.CRASH_EXIT_CODE)
                     if action == FaultInjector.DUPLICATE:
                         await conn.write(encoded)
-                        self.note_message(message)
+                        self.note_message(message, stamp=self._stamp())
                 reply = await asyncio.wait_for(waiter, timeout)
             except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
                 last_error = exc
                 self.retransmissions += 1
                 self.note_timeout(
                     f"{kind.value} exchange {self.site_id}->{dst} timed "
-                    "out; retransmitting"
+                    "out; retransmitting",
+                    site=self.site_id,
                 )
                 conn.pending.pop(exchange_id, None)
                 conn.abort(ConnectionResetError("exchange timed out"))
@@ -591,6 +599,10 @@ class TcpTransport(Transport):
             f"after {attempts} attempts ({last_error})"
         )
 
+    def _stamp(self) -> Optional[dict]:
+        """The endpoint's causal stamp, or None when tracing is off."""
+        return self.endpoint.stamp() if self.stats.tracing else None
+
     def _finish(
         self,
         dst: str,
@@ -598,6 +610,10 @@ class TcpTransport(Transport):
         reply_kind: Optional[MessageKind],
         reply: Reply,
     ) -> bytes:
+        # The reply piggybacks the responder's clock: merging it makes
+        # everything the handler did happen-before this site's next
+        # traced event.
+        self.endpoint.vclock.merge(dict(reply.clock))
         if reply.status == STATUS_HANDLER_ERROR:
             raise RemoteHandlerError(
                 f"{kind.value} handler at {dst!r} failed: "
@@ -619,7 +635,8 @@ class TcpTransport(Transport):
                 dst=self.site_id,
                 kind=reply_kind,
                 payload=reply.payload,
-            )
+            ),
+            stamp=self._stamp(),
         )
         return reply.payload
 
@@ -819,6 +836,7 @@ class TcpTransport(Transport):
                 self.clock.now,
                 "loss",
                 f"injected drop of reply {self.site_id}->{request.src}",
+                data={"site": self.site_id},
             )
             return
         try:
@@ -836,6 +854,10 @@ class TcpTransport(Transport):
                 # Planned death: the frame arrived but this process
                 # dies before its handler can run.
                 os._exit(FaultInjector.CRASH_EXIT_CODE)
+            # Observe the sender's piggybacked clock before the handler
+            # runs, so every event the handler records happens-after
+            # everything the sender did up to this exchange.
+            self.endpoint.vclock.merge(dict(request.clock))
             message = Message(
                 src=request.src,
                 dst=request.dst,
@@ -849,12 +871,18 @@ class TcpTransport(Transport):
                 raise TransportError(
                     f"one-way {kind} message produced a reply"
                 )
-            reply = Reply(request.exchange_id, STATUS_OK, body)
+            reply = Reply(
+                request.exchange_id,
+                STATUS_OK,
+                body,
+                clock=clock_to_wire(self.endpoint.vclock.tick()),
+            )
         except Exception as exc:  # noqa: BLE001 - ship transport errors
             reply = Reply(
                 request.exchange_id,
                 STATUS_HANDLER_ERROR,
                 f"{type(exc).__name__}: {exc}".encode("utf-8"),
+                clock=clock_to_wire(self.endpoint.vclock.tick()),
             )
         return encode_frame(reply)
 

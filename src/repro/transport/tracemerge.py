@@ -12,12 +12,19 @@ depend on.
 
 Each merged event is annotated with ``data["proc"]`` naming its source
 log, so interleavings stay attributable after the merge.
+
+When the ``REPRO_TRACE_EXPORT`` environment variable names a
+directory, :func:`export_trace` copies merged traces there — CI sets
+it so the integration suites leave their merged timelines behind for
+the coherency-sanitizer gate and the uploaded race-report artifact.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
 from pathlib import Path
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.simnet.stats import TraceEvent
 from repro.simnet.tracefmt import load_trace, save_trace
@@ -59,6 +66,26 @@ def merge_trace_files(paths: Sequence, out_path) -> int:
     merged = merge_events(streams)
     save_trace(merged, out_path)
     return len(merged)
+
+
+def export_trace(path, label: Optional[str] = None) -> Optional[Path]:
+    """Copy a trace into ``$REPRO_TRACE_EXPORT`` for CI artifacts.
+
+    A no-op returning ``None`` unless the environment variable names a
+    directory (created on demand).  ``label`` overrides the exported
+    file's stem; the ``.jsonl`` suffix is kept so the analysis CLI's
+    directory scan picks the copy up.
+    """
+    export_dir = os.environ.get("REPRO_TRACE_EXPORT")
+    if not export_dir:
+        return None
+    source = Path(path)
+    destination = Path(export_dir) / (
+        f"{label}.jsonl" if label else source.name
+    )
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(source, destination)
+    return destination
 
 
 def run_merge(args) -> int:

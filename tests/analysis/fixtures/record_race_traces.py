@@ -1,0 +1,365 @@
+#!/usr/bin/env python
+"""Regenerate the recorded race-trace fixtures (coherency sanitizer).
+
+Runs one deterministic two-sided session between ground A and peer C:
+
+* A calls ``search_update`` on C over a tree homed at *A*, so the
+  callee faults on — and writes — caller-homed data (data-plane
+  activity at the participant the invalidation later targets);
+* A then fetches C's exposed tree root and modifies it, so the ground
+  holds dirty data homed at *C* and session end runs the two-phase
+  write-back (a prepare and commit at C) before invalidating C.
+
+Every event carries its vector-clock stamp (trace schema revision 2),
+so the happens-before sanitizer (:mod:`repro.analysis.sanitizer`) can
+rebuild the causal order exactly.  The good trace lands in
+``races/ok/``; each mutant in ``races/bad/`` perturbs the causal
+fabric in one way, so exactly one SRPC4xx rule fires per file:
+
+* ``concurrent_write.trace`` — a write spliced in with a clock
+  concurrent to the session's real writes: a data race (SRPC400);
+* ``stale_read.trace`` — a replayed fault observing the pre-write
+  page version causally *after* the write: a stale read (SRPC401);
+* ``early_invalidate.trace`` — the invalidation's clock rewritten to
+  be concurrent with C's activity: a lost invalidation (SRPC402);
+* ``use_after_invalidate.trace`` — a fault at C causally after its
+  invalidation: use-after-invalidate (SRPC403);
+* ``lost_commit.trace`` — the home-side commit records dropped: the
+  ground's writes were never committed (SRPC404);
+* ``late_write.trace`` — the ground's write clock pushed past the
+  commit's: the committed batch cannot contain it (SRPC404);
+* ``deadlock_cycle.trace`` — two dangling requests closing a
+  waits-for cycle: distributed deadlock (SRPC405).
+
+Each mutant is verified at record time: the good trace must sanitize
+clean and every mutant must raise exactly its expected rule.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/record_race_traces.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.sanitizer import check_events
+from repro.namesvc import TypeNameServer, TypeResolver
+from repro.simnet import Network, StatsCollector
+from repro.simnet.stats import TraceEvent
+from repro.simnet.tracefmt import save_trace
+from repro.smartrpc import SmartRpcRuntime
+from repro.workloads.traversal import (
+    TREE_EXPOSE,
+    TREE_OPS,
+    bind_tree_expose,
+    bind_tree_server,
+    tree_client,
+    tree_expose_client,
+)
+from repro.workloads.trees import (
+    TREE_NODE_TYPE_ID,
+    build_complete_tree,
+    register_tree_types,
+)
+from repro.xdr import SPARC32, X86_64
+from repro.xdr.registry import TypeRegistry
+from repro.xdr.view import StructView
+
+HERE = Path(__file__).resolve().parent
+OK = HERE / "races" / "ok"
+BAD = HERE / "races" / "bad"
+
+GROUND = "A"
+PEER = "C"
+
+#: Expected sanitizer findings per mutant fixture.
+EXPECTED = {
+    "concurrent_write.trace": "SRPC400",
+    "stale_read.trace": "SRPC401",
+    "early_invalidate.trace": "SRPC402",
+    "use_after_invalidate.trace": "SRPC403",
+    "lost_commit.trace": "SRPC404",
+    "late_write.trace": "SRPC404",
+    "deadlock_cycle.trace": "SRPC405",
+}
+
+
+def record_session():
+    """One two-sided session: activity and dirty data on both sides."""
+    network = Network(stats=StatsCollector(trace=True))
+    TypeNameServer(network.add_site("NS"), TypeRegistry())
+    site_a = network.add_site(GROUND)
+    site_c = network.add_site(PEER)
+    ground = SmartRpcRuntime(
+        network, site_a, SPARC32, resolver=TypeResolver(site_a, "NS")
+    )
+    peer = SmartRpcRuntime(
+        network, site_c, X86_64, resolver=TypeResolver(site_c, "NS")
+    )
+    for runtime in (ground, peer):
+        register_tree_types(runtime)
+        runtime.import_interface(TREE_OPS)
+        runtime.import_interface(TREE_EXPOSE)
+    bind_tree_server(peer)
+    bind_tree_expose(peer, build_complete_tree(peer, 3))
+    local_root = build_complete_tree(ground, 3)
+    spec = ground.resolver.resolve(TREE_NODE_TYPE_ID)
+
+    with ground.session() as session:
+        # The callee walks and updates the caller-homed tree: faults
+        # and writes at C whose home is the ground.
+        tree_client(ground, PEER).search_update(session, local_root, 3)
+        # The ground dirties C-homed data: session end must run the
+        # two-phase write-back (prepare + commit at C).
+        pointer = tree_expose_client(ground, PEER).tree_root(session)
+        view = StructView(ground.mem, pointer, spec, ground.arch)
+        view.set("data", (777).to_bytes(8, "big"))
+    return network.stats.events
+
+
+# -- trace surgery ------------------------------------------------------------
+
+
+def find(events, predicate, what):
+    """Index of the first matching event, or die explaining why."""
+    for index, event in enumerate(events):
+        if predicate(event):
+            return index
+    raise SystemExit(f"recorded trace has no {what}")
+
+
+def ground_write_index(events):
+    return find(
+        events,
+        lambda e: e.category == "write"
+        and (e.data or {}).get("space") == GROUND
+        and (e.data or {}).get("home") == PEER,
+        f"write at {GROUND} homed at {PEER}",
+    )
+
+
+def invalidate_index(events):
+    return find(
+        events,
+        lambda e: e.category == "invalidate"
+        and (e.data or {}).get("dst") == PEER,
+        f"invalidation targeting {PEER}",
+    )
+
+
+def splice(events, index, event):
+    return events[:index] + [event] + events[index:]
+
+
+def make_event(after, category, detail, data):
+    """A synthetic event timed just after ``after``."""
+    return TraceEvent(
+        time=after.time + 1e-6, category=category, detail=detail,
+        data=data,
+    )
+
+
+def concurrent_write(events):
+    """Splice a write whose clock races the session's real writes."""
+    inv = events[invalidate_index(events)]
+    session = inv.data["session"]
+    # Only the peer's own component: concurrent with every real write
+    # (each carries a nonzero ground component this clock lacks), yet
+    # still happens-before the invalidation, so only SRPC400 fires.
+    clock = {PEER: inv.data["vc"].get(PEER, 0)}
+    rogue = make_event(
+        inv,
+        "write",
+        f"{PEER}: spliced racing write",
+        {
+            "session": session,
+            "space": PEER,
+            "page": 991,
+            "version": 1,
+            "site": PEER,
+            "seq": 900,
+            "vc": clock,
+        },
+    )
+    return splice(events, invalidate_index(events), rogue)
+
+
+def stale_read(events):
+    """Replay a fault observing the pre-write version after the write."""
+    write = events[ground_write_index(events)]
+    end = events[find(
+        events,
+        lambda e: e.category == "session-end",
+        "session-end",
+    )]
+    clock = dict(end.data["vc"])
+    clock[GROUND] = clock.get(GROUND, 0) + 1
+    ghost = make_event(
+        end,
+        "fault",
+        f"{GROUND}: spliced stale re-read",
+        {
+            "session": write.data["session"],
+            "space": GROUND,
+            "page": write.data["page"],
+            "kind": "read",
+            "version": write.data["version"] - 1,
+            "site": GROUND,
+            "seq": 901,
+            "vc": clock,
+        },
+    )
+    return events + [ghost]
+
+
+def early_invalidate(events):
+    """Strip the invalidation's clock of everything it learned from C."""
+    index = invalidate_index(events)
+    inv = events[index]
+    data = dict(inv.data)
+    # The ground component alone: the rewritten invalidation no longer
+    # dominates any of C's activity, so the two are concurrent.
+    data["vc"] = {GROUND: inv.data["vc"].get(GROUND, 0)}
+    return (
+        events[:index]
+        + [dataclasses.replace(inv, data=data)]
+        + events[index + 1:]
+    )
+
+
+def use_after_invalidate(events):
+    """A fault at C causally after C's invalidation."""
+    inv = events[invalidate_index(events)]
+    clock = dict(inv.data["vc"])
+    clock[PEER] = clock.get(PEER, 0) + 1
+    ghost = make_event(
+        inv,
+        "fault",
+        f"{PEER}: spliced post-invalidate access",
+        {
+            "session": inv.data["session"],
+            "space": PEER,
+            "page": 992,
+            "kind": "read",
+            "version": 0,
+            "site": PEER,
+            "seq": 902,
+            "vc": clock,
+        },
+    )
+    return events + [ghost]
+
+
+def lost_commit(events):
+    """Drop the home-side commit records: the writes never landed."""
+    return [
+        e
+        for e in events
+        if not (
+            e.category == "writeback-phase"
+            and (e.data or {}).get("phase") == "commit"
+        )
+    ]
+
+
+def late_write(events):
+    """Push the ground's write causally past its home's commit."""
+    index = ground_write_index(events)
+    write = events[index]
+    commit = events[find(
+        events,
+        lambda e: e.category == "writeback-phase"
+        and (e.data or {}).get("phase") == "commit"
+        and (e.data or {}).get("space") == PEER,
+        f"write-back commit at {PEER}",
+    )]
+    clock = dict(commit.data["vc"])
+    clock[GROUND] = clock.get(GROUND, 0) + 50
+    data = dict(write.data)
+    data["vc"] = clock
+    return (
+        events[:index]
+        + [dataclasses.replace(write, data=data)]
+        + events[index + 1:]
+    )
+
+
+def deadlock_cycle(events):
+    """Two dangling requests closing a waits-for cycle."""
+    last = events[-1]
+    hang_out = make_event(
+        last,
+        "message",
+        f"{GROUND}->{PEER} status 0B",
+        {"src": GROUND, "dst": PEER, "kind": "status", "size": 0},
+    )
+    hang_back = make_event(
+        last,
+        "message",
+        f"{PEER}->{GROUND} status 0B",
+        {"src": PEER, "dst": GROUND, "kind": "status", "size": 0},
+    )
+    return events + [hang_out, hang_back]
+
+
+MUTANTS = {
+    "concurrent_write.trace": concurrent_write,
+    "stale_read.trace": stale_read,
+    "early_invalidate.trace": early_invalidate,
+    "use_after_invalidate.trace": use_after_invalidate,
+    "lost_commit.trace": lost_commit,
+    "late_write.trace": late_write,
+    "deadlock_cycle.trace": deadlock_cycle,
+}
+
+
+def sanitize(events):
+    """The set of SRPC codes the sanitizer reports for ``events``."""
+    collector = DiagnosticCollector()
+    check_events(events, collector)
+    return {d.code for d in collector}
+
+
+def main() -> None:
+    OK.mkdir(parents=True, exist_ok=True)
+    BAD.mkdir(parents=True, exist_ok=True)
+    events = record_session()
+
+    peer_activity = [
+        e
+        for e in events
+        if e.category in ("fault", "write")
+        and (e.data or {}).get("space") == PEER
+    ]
+    if not peer_activity:
+        raise SystemExit(
+            f"recorded trace has no data-plane activity at {PEER}; "
+            "the invalidation rules would be vacuous"
+        )
+    found = sanitize(events)
+    if found:
+        raise SystemExit(f"good trace is not race-free: {sorted(found)}")
+    save_trace(events, OK / "race_session.trace")
+
+    for name, mutate in MUTANTS.items():
+        mutated = mutate(list(events))
+        found = sanitize(mutated)
+        expected = {EXPECTED[name]}
+        if found != expected:
+            raise SystemExit(
+                f"{name}: expected {sorted(expected)}, sanitizer "
+                f"found {sorted(found)}"
+            )
+        save_trace(mutated, BAD / name)
+
+    print(
+        f"recorded {len(events)} events into {OK} and "
+        f"{len(MUTANTS)} race mutants into {BAD}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,7 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.analysis import trace_rules
+from repro.analysis import sanitizer, trace_rules
 from repro.analysis.diagnostics import DiagnosticCollector
 from repro.namesvc.client import TypeResolver
 from repro.namesvc.directory import DirectoryClient
@@ -56,7 +56,7 @@ from repro.transport.host import (
     query_status,
     run_crash_session,
 )
-from repro.transport.tracemerge import merge_trace_files
+from repro.transport.tracemerge import export_trace, merge_trace_files
 from repro.workloads.traversal import (
     TREE_EXPOSE,
     TREE_OPS,
@@ -149,6 +149,22 @@ def _cell_plan(role, step):
         return victim, "send", kind, nth
     kind, nth = VICTIM_RECV[step]
     return victim, "recv", kind, nth
+
+
+def _gate_events(events):
+    """Both offline gates over one in-memory trace.
+
+    The conformance rules must raise no errors, and the coherency
+    sanitizer must raise nothing at all — crash semantics (aborted
+    sessions, reaped orphans, a victim's genuinely concurrent final
+    writes) are understood by the SRPC4xx rules, not suppressed here.
+    """
+    collector = DiagnosticCollector()
+    trace_rules.check_events(events, collector)
+    assert collector.errors == [], [d.render() for d in collector.errors]
+    races = DiagnosticCollector()
+    sanitizer.check_events(events, races)
+    assert list(races) == [], [d.render() for d in races]
 
 
 # -- the simulated half ------------------------------------------------------
@@ -256,9 +272,7 @@ def test_simnet_crash_cell(role, step):
     )
     lifecycle = {event.category for event in session_events}
     assert {"session-abort", "orphan-reaped"} <= lifecycle, lifecycle
-    collector = DiagnosticCollector()
-    trace_rules.check_events(stats.events, collector)
-    assert collector.errors == [], [d.render() for d in collector.errors]
+    _gate_events(stats.events)
 
 
 def test_simnet_session_deadline_aborts():
@@ -273,9 +287,7 @@ def test_simnet_session_deadline_aborts():
         isinstance(state, SmartSessionState)
         for state in ground._sessions.values()
     )
-    collector = DiagnosticCollector()
-    trace_rules.check_events(stats.events, collector)
-    assert collector.errors == []
+    _gate_events(stats.events)
 
 
 def test_simnet_caller_survives_callee_crash_and_runs_again():
@@ -288,9 +300,7 @@ def test_simnet_caller_survives_callee_crash_and_runs_again():
     checksums = run_crash_session(runtimes[GROUND], ["T"])
     assert checksums["T"] in (ORIGINAL_SUM, MARKED_SUM)
     assert local_tree_checksum(runtimes["T"], roots["T"]) == MARKED_SUM
-    collector = DiagnosticCollector()
-    trace_rules.check_events(stats.events, collector)
-    assert collector.errors == []
+    _gate_events(stats.events)
 
 
 # -- the TCP half ------------------------------------------------------------
@@ -544,3 +554,10 @@ def test_tcp_crash_cell(role, step, registry, tmp_path):
     collector = DiagnosticCollector()
     trace_rules.analyze_trace_file(merged, collector)
     assert collector.errors == [], [d.render() for d in collector.errors]
+    # The coherency sanitizer on the same survivor timeline: the
+    # aborted session's leftovers must read as crash semantics (which
+    # the SRPC4xx rules scope out), never as a race.
+    races = DiagnosticCollector()
+    sanitizer.analyze_trace_file(merged, races)
+    assert list(races) == [], [d.render() for d in races]
+    export_trace(merged, f"crash_{role}_{step}")

@@ -1,0 +1,69 @@
+"""Race-freedom property of the runtime (coherency sanitizer).
+
+The protocol guarantees coherency for the single active thread of
+control, so *no* legitimately recorded session may contain a
+happens-before violation: for any seeded workload, method, and
+carrier, the sanitizer (:mod:`repro.analysis.sanitizer`) must report
+nothing.  This pins the vector-clock stamping itself — a carrier that
+dropped a merge or an emitter that skipped a stamp would read as
+concurrency and fail here.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.sanitizer import check_events
+from repro.bench.harness import (
+    METHODS,
+    SIMNET,
+    TCP,
+    make_world,
+    run_hash_call,
+    run_tree_call,
+)
+
+depths = st.integers(min_value=0, max_value=4)
+procedures = st.sampled_from(["search", "search_update"])
+methods = st.sampled_from(METHODS)
+
+
+def sanitize(events):
+    collector = DiagnosticCollector()
+    check_events(events, collector)
+    return sorted(d.code for d in collector)
+
+
+class TestSimnetSessionsAreRaceFree:
+    @settings(max_examples=10, deadline=None)
+    @given(depths, procedures, methods)
+    def test_tree_sessions(self, depth, procedure, method):
+        nodes = 2 ** (depth + 1) - 1
+        with make_world(method, transport=SIMNET, trace=True) as world:
+            run_tree_call(world, nodes, procedure, ratio=1.0)
+            events = list(world.stats.events)
+        assert events, "tracing was enabled but recorded nothing"
+        assert sanitize(events) == []
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        st.integers(min_value=8, max_value=48),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_hash_sessions(self, keys, lookups):
+        with make_world(transport=SIMNET, trace=True) as world:
+            run_hash_call(world, keys, lookups)
+            events = list(world.stats.events)
+        assert sanitize(events) == []
+
+
+class TestTcpSessionsAreRaceFree:
+    @settings(max_examples=3, deadline=None)
+    @given(depths, procedures)
+    def test_tree_sessions(self, depth, procedure):
+        nodes = 2 ** (depth + 1) - 1
+        with make_world(transport=TCP, trace=True) as world:
+            run_tree_call(world, nodes, procedure, ratio=1.0)
+            events = list(world.stats.events)
+        assert events, "tracing was enabled but recorded nothing"
+        assert sanitize(events) == []

@@ -1,7 +1,16 @@
 """Tests for trace formatting."""
 
+import pytest
+
 from repro.simnet.stats import StatsCollector, TraceEvent
-from repro.simnet.tracefmt import format_timeline, summarize_trace
+from repro.simnet.tracefmt import (
+    TraceFormatError,
+    format_timeline,
+    load_trace,
+    save_trace,
+    summarize_trace,
+    validate_event,
+)
 
 
 def events():
@@ -49,6 +58,69 @@ class TestSummarizeTrace:
     def test_without_events(self):
         text = summarize_trace(StatsCollector())
         assert "no events" in text
+
+
+def stamped_event(**overrides):
+    data = {
+        "session": "s-1",
+        "space": "A",
+        "page": 0,
+        "kind": "read",
+        "version": 0,
+        "site": "A",
+        "seq": 0,
+        "vc": {"A": 1},
+    }
+    data.update(overrides)
+    for key, value in list(data.items()):
+        if value is None:
+            del data[key]
+    return TraceEvent(0.0, "fault", "A: fault", data)
+
+
+class TestSaveTraceValidation:
+    """Schema revision 2: malformed events fail at record time."""
+
+    def test_valid_protocol_event_saves(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        save_trace([stamped_event()], path)
+        assert len(load_trace(path)) == 1
+
+    @pytest.mark.parametrize("field", ["session", "site", "seq", "vc"])
+    def test_missing_stamp_field_raises(self, tmp_path, field):
+        event = stamped_event(**{field: None})
+        with pytest.raises(TraceFormatError) as excinfo:
+            save_trace([event], tmp_path / "bad.trace")
+        assert "fault event" in str(excinfo.value)
+        assert not (tmp_path / "bad.trace").exists()
+
+    def test_bad_clock_type_raises(self):
+        with pytest.raises(TraceFormatError):
+            validate_event(stamped_event(vc={"A": "one"}))
+
+    def test_negative_seq_raises(self):
+        with pytest.raises(TraceFormatError):
+            validate_event(stamped_event(seq=-1))
+
+    def test_carrier_events_are_exempt(self, tmp_path):
+        message = TraceEvent(0.0, "message", "A->B call", {
+            "src": "A", "dst": "B", "kind": "call", "size": 4,
+        })
+        timeout = TraceEvent(0.1, "timeout", "retransmitting")
+        save_trace([message, timeout], tmp_path / "ok.trace")
+        assert len(load_trace(tmp_path / "ok.trace")) == 2
+
+    def test_escape_hatch_skips_validation(self, tmp_path):
+        event = stamped_event(vc=None)
+        path = tmp_path / "legacy.trace"
+        save_trace([event], path, validate=False)
+        assert len(load_trace(path)) == 1
+
+    def test_error_names_the_offending_line(self, tmp_path):
+        events = [stamped_event(), stamped_event(session=None)]
+        with pytest.raises(TraceFormatError) as excinfo:
+            save_trace(events, tmp_path / "bad.trace")
+        assert "line 2" in str(excinfo.value)
 
 
 class TestEndToEndTracing:

@@ -24,14 +24,14 @@ from pathlib import Path
 import pytest
 
 import repro
-from repro.analysis import trace_rules
+from repro.analysis import sanitizer, trace_rules
 from repro.analysis.diagnostics import DiagnosticCollector
 from repro.namesvc.directory import DirectoryClient, DirectoryError
 from repro.simnet.stats import StatsCollector
 from repro.simnet.tracefmt import load_trace, save_trace
 from repro.transport.host import make_space, query_status
 from repro.transport.tcp import FaultInjector
-from repro.transport.tracemerge import merge_trace_files
+from repro.transport.tracemerge import export_trace, merge_trace_files
 from repro.workloads.traversal import (
     expected_search_checksum,
     tree_client,
@@ -215,6 +215,14 @@ def test_session_across_processes_with_faults(deployment, tmp_path):
     collector = DiagnosticCollector()
     trace_rules.analyze_trace_file(merged, collector)
     assert list(collector) == []
+
+    # The coherency sanitizer replays the same merged timeline: the
+    # four processes' piggybacked vector clocks must order every fault,
+    # write and invalidation — any SRPC4xx finding is a real race.
+    races = DiagnosticCollector()
+    sanitizer.analyze_trace_file(merged, races)
+    assert list(races) == [], [d.render() for d in races]
+    export_trace(merged, "cross_process")
 
 
 def test_heartbeat_keeps_liveness_fresh(deployment):

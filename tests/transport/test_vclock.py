@@ -1,0 +1,98 @@
+"""Tests for vector clocks (the causal-stamp layer)."""
+
+from repro.transport.vclock import (
+    VectorClock,
+    concurrent,
+    dominates,
+    happens_before,
+)
+
+
+class TestVectorClock:
+    def test_tick_increments_own_component(self):
+        clock = VectorClock("A")
+        assert clock.tick() == {"A": 1}
+        assert clock.tick() == {"A": 2}
+
+    def test_tick_returns_snapshot_not_alias(self):
+        clock = VectorClock("A")
+        first = clock.tick()
+        clock.tick()
+        assert first == {"A": 1}
+
+    def test_merge_takes_pointwise_max(self):
+        clock = VectorClock("A")
+        clock.tick()
+        clock.merge({"B": 5, "A": 0})
+        assert clock.snapshot() == {"A": 1, "B": 5}
+        clock.merge({"B": 3, "C": 1})
+        assert clock.snapshot() == {"A": 1, "B": 5, "C": 1}
+
+    def test_merged_history_travels_through_ticks(self):
+        clock = VectorClock("A")
+        clock.merge({"B": 2})
+        assert clock.tick() == {"A": 1, "B": 2}
+
+    def test_next_seq_is_monotonic_per_session(self):
+        clock = VectorClock("A")
+        assert [clock.next_seq("s1") for _ in range(3)] == [0, 1, 2]
+        assert clock.next_seq("s2") == 0
+        assert clock.next_seq(None) == 0
+        assert clock.next_seq("s1") == 3
+
+
+class TestCausalOrder:
+    def test_dominates(self):
+        assert dominates({"A": 2, "B": 1}, {"A": 1})
+        assert not dominates({"A": 1}, {"A": 2})
+        assert dominates({"A": 1}, {"A": 1})
+
+    def test_happens_before_requires_strict_order(self):
+        a = {"A": 1}
+        b = {"A": 2, "B": 1}
+        assert happens_before(a, b)
+        assert not happens_before(b, a)
+        assert not happens_before(a, dict(a))
+
+    def test_concurrent_is_symmetric_and_irreflexive(self):
+        a = {"A": 2}
+        b = {"B": 3}
+        assert concurrent(a, b)
+        assert concurrent(b, a)
+        assert not concurrent(a, dict(a))
+
+    def test_ordered_clocks_are_not_concurrent(self):
+        a = {"A": 1, "B": 1}
+        b = {"A": 2, "B": 1}
+        assert not concurrent(a, b)
+        assert happens_before(a, b)
+
+
+class TestEndToEndStamping:
+    """The carriers piggyback clocks so causality crosses sites."""
+
+    def test_simnet_exchange_merges_clocks(self):
+        from repro.simnet.message import MessageKind
+        from repro.simnet.network import Network
+
+        network = Network()
+        a = network.add_site("A")
+        b = network.add_site("B")
+        b.register_handler(MessageKind.CALL, lambda m: b"")
+        a.vclock.tick()
+        network.send("A", "B", MessageKind.CALL, b"x", MessageKind.REPLY)
+        # The callee observed the caller's clock, and the reply
+        # carried the callee's history back.
+        assert b.vclock.snapshot().get("A", 0) >= 1
+        assert a.vclock.snapshot().get("B", 0) >= 0
+
+    def test_stamp_carries_site_seq_and_clock(self):
+        from repro.simnet.network import Network
+
+        network = Network()
+        a = network.add_site("A")
+        stamp = a.stamp("session-1")
+        assert stamp["site"] == "A"
+        assert stamp["seq"] == 0
+        assert stamp["vc"]["A"] >= 1
+        assert a.stamp("session-1")["seq"] == 1

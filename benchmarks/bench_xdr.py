@@ -9,6 +9,13 @@ current growable-buffer/``memoryview``/bulk-copy path on a page-sized
 payload (one 4096-byte cache page of uint32s), asserting the rework is
 at least 2x faster on both encode and decode.
 
+``--transport shm`` additionally runs the carrier page-fill benchmark:
+the marginal per-byte cost of a bulk reply over the shared-memory
+carrier (one production copy into the segment, a mapped view on the
+far side) against the same exchange over localhost TCP, asserting the
+shm carrier's per-byte overhead above a plain ``memcpy`` is at most
+10% of TCP's.
+
 Run with ``pytest benchmarks/bench_xdr.py`` — the reproduced
 throughput ratios are printed in the terminal summary.
 """
@@ -19,8 +26,12 @@ import struct
 import time
 from typing import List
 
+import pytest
+
 from conftest import record_sim_result
 
+from repro.bench.carrier import carrier_per_byte, memcpy_per_byte
+from repro.bench.harness import SHM, SIMNET, TCP
 from repro.memory.address_space import AddressSpace
 from repro.xdr.arch import SPARC32
 from repro.xdr.raw import RawCodec, _pack_scalar, _unpack_scalar
@@ -272,3 +283,62 @@ def test_xdr_scalar_stream_throughput(benchmark):
     record_sim_result(
         f"xdr scalar stream (512 fields): {ratio:.2f}x over seed codec"
     )
+
+
+# -- carrier page fill: per-byte cost of a bulk reply -------------------------
+#
+# ``repro.bench.carrier`` measures the marginal per-byte cost of a
+# bulk reply as the timing slope between a small and a large fetch:
+# over shm the server pays one production copy into its data segment
+# and the client maps the extent in place, where TCP re-copies the
+# body through framing, two socket buffers and a reassembled
+# ``bytes``.  This test asserts the collapse; ``baseline.py`` records
+# the same slopes into ``BENCH_shm.json``.
+
+
+def test_carrier_page_fill_per_byte(benchmark, transport_mode):
+    """Over shm, filling a page costs one memcpy; the per-byte carrier
+    overhead above that floor must be <= 10% of TCP's (the acceptance
+    bar for the segment-offset handover path)."""
+    if transport_mode == SIMNET:
+        pytest.skip("per-byte carrier cost needs a real carrier")
+    memcpy = memcpy_per_byte()
+    carriers = (TCP, SHM) if transport_mode == SHM else (transport_mode,)
+    slopes = {
+        carrier: carrier_per_byte(
+            carrier,
+            measured_hook=(
+                (lambda fn: benchmark.pedantic(fn, rounds=10, iterations=1))
+                if carrier == transport_mode
+                else None
+            ),
+        )
+        for carrier in carriers
+    }
+    overheads = {
+        carrier: max(slope - memcpy, 0.0)
+        for carrier, slope in slopes.items()
+    }
+    for carrier, slope in slopes.items():
+        benchmark.extra_info[f"{carrier}_ns_per_byte"] = round(
+            slope * 1e9, 4
+        )
+    benchmark.extra_info["memcpy_ns_per_byte"] = round(memcpy * 1e9, 4)
+    line = ", ".join(
+        f"{carrier} {slope * 1e9:.3f} ns/B"
+        for carrier, slope in slopes.items()
+    )
+    record_sim_result(
+        f"carrier page fill slope: {line}, memcpy floor "
+        f"{memcpy * 1e9:.3f} ns/B"
+    )
+    if transport_mode == SHM:
+        ratio = overheads[SHM] / overheads[TCP]
+        record_sim_result(
+            f"carrier overhead above memcpy: shm is {ratio:.1%} of tcp"
+        )
+        assert overheads[SHM] <= 0.10 * overheads[TCP], (
+            f"shm per-byte overhead {overheads[SHM] * 1e9:.3f} ns/B is "
+            f"{ratio:.0%} of tcp's {overheads[TCP] * 1e9:.3f} ns/B "
+            f"(needs <= 10%)"
+        )

@@ -9,8 +9,10 @@ in its output.
 
 ``--transport`` selects what the worlds run over: ``simnet`` (default,
 deterministic modeled seconds), ``tcp`` (real localhost sockets, wall
-seconds), or ``both`` — which parametrizes every benchmark over the
-two so their rows land side by side in the pytest-benchmark JSON.
+seconds), ``shm`` (same-machine shared-memory segments, wall seconds),
+or ``all`` — which parametrizes every benchmark over every carrier so
+their rows land side by side in the pytest-benchmark JSON (``both`` is
+the accepted legacy spelling from the two-carrier days).
 
 ``--policy`` substitutes any transfer policy for the proposed-method
 rows (the baseline rows keep their fixed policies), and
@@ -33,9 +35,10 @@ _SIM_RESULTS: List[str] = []
 def pytest_addoption(parser):
     parser.addoption(
         "--transport",
-        choices=(*TRANSPORTS, "both"),
+        choices=(*TRANSPORTS, "all", "both"),
         default=SIMNET,
-        help="run benchmark worlds over simnet, tcp, or both",
+        help="run benchmark worlds over simnet, tcp, shm, or all "
+        "of them (both is a legacy alias for all)",
     )
     parser.addoption(
         "--policy",
@@ -66,7 +69,10 @@ def closure_order_mode(request):
 def pytest_generate_tests(metafunc):
     if "transport_mode" in metafunc.fixturenames:
         choice = metafunc.config.getoption("--transport")
-        modes = list(TRANSPORTS) if choice == "both" else [choice]
+        if choice in ("all", "both"):
+            modes = list(TRANSPORTS)
+        else:
+            modes = [choice]
         metafunc.parametrize("transport_mode", modes)
 
 

@@ -1,0 +1,150 @@
+"""Raw carrier microbenchmarks: the per-byte cost of a bulk reply.
+
+The smart-pointer runtime's dominant bulk operation is filling pages
+on the caller's side of an exchange.  The marginal per-byte cost of
+that fill is what the shm carrier is built to collapse: the server
+pays one production copy into its data segment and the client maps
+the extent in place, where TCP re-copies the body through framing,
+two socket buffers and a reassembled ``bytes``.  Everything here
+measures the *slope* between a small and a large reply, so every
+fixed per-exchange cost (rings, wakeups, dials) cancels out.
+
+Used by ``benchmarks/bench_xdr.py`` (the asserting benchmark) and by
+``benchmarks/baseline.py`` (which records the slopes into
+``BENCH_shm.json`` next to the Figure 4 crossover sweep).
+"""
+
+from __future__ import annotations
+
+import gc
+import struct
+import time
+from typing import Callable, Optional
+
+from repro.simnet.message import MessageKind
+from repro.transport.base import RetryPolicy
+from repro.transport.shm import ShmTransport
+from repro.transport.tcp import TcpTransport
+
+from .harness import SHM, TCP
+
+#: The two reply sizes whose timing difference isolates per-byte cost.
+BULK_SMALL = 64 * 1024
+BULK_BIG = 4 * 1024 * 1024
+
+#: Wall-time floor per measurement batch.
+MIN_SECONDS = 0.05
+
+_SIZE_REQ = struct.Struct(">Q")
+_SOURCE = bytes(range(256)) * (BULK_BIG // 256)
+
+#: Patient retries: a retransmitted exchange would double-count bytes.
+_PATIENT = RetryPolicy(
+    timeout=5.0, backoff=2.0, max_timeout=30.0, max_attempts=4
+)
+
+
+def seconds_per_call(fn: Callable[[], None]) -> float:
+    """Best-of-three seconds per call, timed over >= MIN_SECONDS.
+
+    Collections are off during the timed region (the ``timeit``
+    discipline): a gen-2 pass landing inside a polling handoff on a
+    small host inflates an exchange by two orders of magnitude, and
+    what is being measured here is the carrier, not the collector.
+    """
+    fn()  # warm up (dial, segment map, allocator)
+    gc.collect()
+    gc.disable()
+    try:
+        loops = 1
+        while True:
+            start = time.perf_counter()
+            for _ in range(loops):
+                fn()
+            elapsed = time.perf_counter() - start
+            if elapsed >= MIN_SECONDS:
+                break
+            loops *= 2
+        best = elapsed / loops
+        for _ in range(2):
+            start = time.perf_counter()
+            for _ in range(loops):
+                fn()
+            best = min(best, (time.perf_counter() - start) / loops)
+        return best
+    finally:
+        gc.enable()
+
+
+def memcpy_per_byte() -> float:
+    """The floor both carriers share: one plain bulk copy."""
+    source = memoryview(_SOURCE)
+    scratch = bytearray(BULK_BIG)
+
+    def copy(n: int) -> None:
+        scratch[:n] = source[:n]
+
+    small = seconds_per_call(lambda: copy(BULK_SMALL))
+    big = seconds_per_call(lambda: copy(BULK_BIG))
+    return (big - small) / (BULK_BIG - BULK_SMALL)
+
+
+def carrier_per_byte(
+    carrier: str,
+    measured_hook: Optional[Callable[[Callable[[], None]], None]] = None,
+) -> float:
+    """Marginal per-byte seconds of a bulk reply over one carrier.
+
+    The server's handler performs exactly one production copy on both
+    carriers — ``bytes`` slicing for tcp, a ``reserve_payload`` fill
+    for shm — so the difference in slope is pure carrier overhead.
+    ``measured_hook`` (e.g. ``pytest-benchmark``'s pedantic runner)
+    receives the big-fetch closure while the deployment is still up.
+    """
+    if carrier == TCP:
+        server = TcpTransport("B", retry=_PATIENT)
+        client = TcpTransport("A", retry=_PATIENT)
+    else:
+        # The segment holds many big extents so the bump allocator
+        # never waits on the one-behind deferred reply acks.
+        server = ShmTransport(
+            "B", retry=_PATIENT, segment_size=64 * 1024 * 1024
+        )
+        client = ShmTransport("A", retry=_PATIENT)
+    try:
+        server.start()
+        client.start()
+        client.add_peer("B", server.address)
+        server.add_peer("A", client.address)
+        source = memoryview(_SOURCE)
+
+        if carrier == SHM:
+            def handler(message):
+                n = _SIZE_REQ.unpack(bytes(message.payload))[0]
+                payload = server.reserve_payload(n)
+                payload.view[:] = source[:n]
+                return payload
+        else:
+            def handler(message):
+                n = _SIZE_REQ.unpack(bytes(message.payload))[0]
+                return _SOURCE[:n]
+
+        server.endpoint.register_handler(MessageKind.CALL, handler)
+
+        def fetch(n: int) -> None:
+            reply = client.endpoint.send(
+                "B",
+                MessageKind.CALL,
+                _SIZE_REQ.pack(n),
+                reply_kind=MessageKind.REPLY,
+            )
+            assert len(reply) == n
+
+        small = seconds_per_call(lambda: fetch(BULK_SMALL))
+        big = seconds_per_call(lambda: fetch(BULK_BIG))
+        if measured_hook is not None:
+            measured_hook(lambda: fetch(BULK_BIG))
+        return (big - small) / (BULK_BIG - BULK_SMALL)
+    finally:
+        client.close()
+        server.close()

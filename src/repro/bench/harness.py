@@ -14,9 +14,13 @@ Worlds come in two transports (``transport=`` of :func:`make_world`):
   exchanging framed messages over real localhost sockets; ``seconds``
   are genuine wall time.  Message/byte/fault counters are identical
   across the two, which the equivalence property test pins down.
+* ``shm`` — three :class:`~repro.transport.shm.ShmTransport` stacks
+  exchanging the same frames through shared-memory ring buffers, with
+  bulk payloads handed over as segment offsets instead of copies;
+  ``seconds`` are wall time, counters again identical.
 
-TCP worlds own OS resources (ports, threads); use them as context
-managers or call :meth:`World.close`.
+TCP and shm worlds own OS resources (ports, threads, shared-memory
+segments); use them as context managers or call :meth:`World.close`.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.smartrpc.policy import (
 )
 from repro.smartrpc.runtime import SmartRpcRuntime
 from repro.transport.base import Endpoint, RetryPolicy, Transport
+from repro.transport.shm import ShmTransport
 from repro.transport.tcp import TcpTransport
 from repro.workloads.hashtable import (
     HASH_NODE_TYPE_ID,
@@ -135,7 +140,8 @@ NAME_SERVER = "NS"
 
 SIMNET = "simnet"
 TCP = "tcp"
-TRANSPORTS = (SIMNET, TCP)
+SHM = "shm"
+TRANSPORTS = (SIMNET, TCP, SHM)
 
 
 @dataclass
@@ -231,6 +237,32 @@ def make_world(
         peers: dict = {}
         transports = [
             TcpTransport(
+                site_id,
+                stats=stats,
+                cost_model=model,
+                peers=peers,
+                retry=patient,
+            )
+            for site_id in (NAME_SERVER, CALLER, CALLEE)
+        ]
+        for stack in transports:
+            peers[stack.site_id] = stack.start()
+        ns_net, caller_net, callee_net = transports
+        network = caller_net
+        ns_site = ns_net.endpoint
+        caller_site = caller_net.endpoint
+        callee_site = callee_net.endpoint
+    elif transport == SHM:
+        # Same three-stack shape as TCP, but over shared-memory rings:
+        # the peer table maps site ids to listener segment names.  The
+        # rings never lose a frame, so the patient schedule again keeps
+        # the counters free of spurious retransmissions.
+        patient = RetryPolicy(
+            timeout=5.0, backoff=2.0, max_timeout=30.0, max_attempts=4
+        )
+        peers = {}
+        transports = [
+            ShmTransport(
                 site_id,
                 stats=stats,
                 cost_model=model,

@@ -239,10 +239,20 @@ def handle_writeback_prepare(
     decoder = XdrDecoder(message.payload)
     session_id = decoder.unpack_string()
     ground_site = decoder.unpack_string()
-    batch = decoder.unpack_opaque()
+    # Staged as a view, not a copy.  On an owned payload the view just
+    # pins the ``bytes``; on a shared-memory delivery it aliases the
+    # ground's data segment, and retaining the carrier lease keeps the
+    # extent pinned there — the batch is never shipped twice, commit
+    # applies it straight out of the segment.
+    batch = decoder.unpack_opaque_view()
     decoder.expect_done()
     state = runtime.ensure_smart_session(session_id, ground_site)
+    runtime._discard_staged(state)  # a re-prepare supersedes the old pin
+    lease = message.carrier_ref
+    if lease is not None:
+        lease.retain()
     state.staged_writeback = batch
+    state.staged_writeback_lease = lease
     _record_phase(runtime, state, "prepare", len(batch))
     return b""
 
@@ -262,8 +272,20 @@ def handle_writeback_commit(
             f"{session_id!r} without a staged prepare"
         )
     assert state is not None
+    lease = getattr(state, "staged_writeback_lease", None)
     state.staged_writeback = None
-    transfer.apply_batch(runtime, state, staged, overwrite=True)
+    state.staged_writeback_lease = None
+    try:
+        if lease is not None:
+            # The commit "flips the word": re-check the extent's stamp
+            # and epoch, then apply in place.  A ground that died and
+            # restarted bumped its segment epoch, so a stale staged
+            # batch fails loudly here instead of half-applying.
+            lease.validate()
+        transfer.apply_batch(runtime, state, staged, overwrite=True)
+    finally:
+        if lease is not None:
+            lease.release()
     _record_phase(runtime, state, "commit", len(staged))
     return b""
 

@@ -95,6 +95,10 @@ class SmartSessionState(SessionState):
         # was torn down early (``None`` while healthy), and when it
         # opened (the session-deadline anchor).
         self.staged_writeback: Optional[bytes] = None
+        # The carrier lease pinning a zero-copy staged batch in the
+        # ground's shared-memory segment (None on owned payloads);
+        # released whenever the staged batch is applied or discarded.
+        self.staged_writeback_lease: Optional[object] = None
         self.abort_reason: Optional[str] = None
         self.opened_at = runtime.clock.now
         runtime.trace_event(
@@ -337,7 +341,16 @@ class SmartRpcRuntime(RpcRuntime):
             state.relayed_dirty.clear()
             state.pending_allocs.clear()
             state.pending_frees.clear()
-            state.staged_writeback = None
+            self._discard_staged(state)
+
+    @staticmethod
+    def _discard_staged(state: "SmartSessionState") -> None:
+        """Drop an uncommitted staged batch, releasing its carrier pin."""
+        state.staged_writeback = None
+        lease = getattr(state, "staged_writeback_lease", None)
+        state.staged_writeback_lease = None
+        if lease is not None:
+            lease.release()
 
     # -- fault tolerance (DESIGN.md §12) --------------------------------------
 
@@ -465,7 +478,7 @@ class SmartRpcRuntime(RpcRuntime):
         state.relayed_dirty.clear()
         state.pending_allocs.clear()
         state.pending_frees.clear()
-        state.staged_writeback = None
+        self._discard_staged(state)
         self.stats.orphans_reaped += 1
         self.trace_event(
             "orphan-reaped",

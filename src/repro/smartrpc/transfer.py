@@ -254,7 +254,11 @@ def apply_reply(
         raise SmartRpcError(
             f"data request to {home!r} failed: {decoder.unpack_string()}"
         )
-    batch = decoder.unpack_opaque()
+    # Zero-copy: the batch is decoded in place (apply_batch
+    # materialises every item into the heap), so on carriers that
+    # deliver payloads as shared-memory views the page bytes are
+    # copied exactly once — segment straight into the local heap.
+    batch = decoder.unpack_opaque_view()
     decoder.expect_done()
     policy = state.policy
     ledger = state.transfer_stats

@@ -12,7 +12,11 @@ implementations exist:
 * :class:`repro.transport.tcp.TcpTransport` — a real asyncio TCP
   transport (length-prefixed frames, versioned handshake, connection
   pooling, timeout/backoff retransmission, at-most-once duplicate
-  suppression) so the same sessions run across genuine OS processes.
+  suppression) so the same sessions run across genuine OS processes;
+* :class:`repro.transport.shm.ShmTransport` — a zero-copy
+  shared-memory carrier: control frames over lock-free SPSC ring
+  buffers, bulk payloads handed over as epoch-stamped offsets into a
+  shared data segment (no per-byte wire cost at all).
 
 ``python -m repro.transport serve`` hosts one address space per OS
 process; see :mod:`repro.transport.host`.
@@ -26,6 +30,14 @@ from repro.transport.base import (
     TransportError,
 )
 from repro.transport.framing import PROTOCOL_VERSION
+from repro.transport.shm import (
+    SegmentAllocator,
+    SegmentLease,
+    SegmentPayload,
+    ShmEndpoint,
+    ShmTransport,
+    purge_stale_segments,
+)
 from repro.transport.tcp import (
     FaultInjector,
     HandshakeError,
@@ -43,9 +55,15 @@ __all__ = [
     "RemoteHandlerError",
     "ReplyCache",
     "RetryPolicy",
+    "SegmentAllocator",
+    "SegmentLease",
+    "SegmentPayload",
+    "ShmEndpoint",
+    "ShmTransport",
     "TcpEndpoint",
     "TcpTransport",
     "Transport",
     "TransportError",
     "WallClock",
+    "purge_stale_segments",
 ]

@@ -31,19 +31,22 @@ from repro.transport.host import (
     PROPOSED,
     REGISTRY_SITE,
     HEARTBEAT_INTERVAL,
+    TRANSPORTS,
     run_ping,
     run_serve,
     run_shutdown,
     run_status,
 )
+from repro.transport.shm import DEFAULT_RING_SLOTS, DEFAULT_SEGMENT_SIZE
 from repro.transport.tracemerge import run_merge
 
 
 def _add_registry_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--registry",
-        metavar="HOST:PORT",
-        help="address of the registry host (site directory)",
+        metavar="ADDR",
+        help="address of the registry host (site directory): HOST:PORT "
+        "over tcp, the registry's listener segment name over shm",
     )
     parser.add_argument(
         "--registry-site",
@@ -51,12 +54,20 @@ def _add_registry_options(parser: argparse.ArgumentParser) -> None:
         metavar="ID",
         help=f"site id of the registry host (default {REGISTRY_SITE})",
     )
+    parser.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="tcp",
+        help="carrier to serve or dial on: tcp sockets, or shm "
+        "(same-machine shared-memory segments; default tcp)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.transport",
-        description="Real inter-process smart-RPC transport over TCP.",
+        description="Real inter-process smart-RPC transport over TCP "
+        "sockets or shared memory (--transport shm).",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -135,6 +146,22 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="reap sessions whose peer's directory heartbeat is older "
         "than this (0: never reap)",
+    )
+    serve.add_argument(
+        "--segment-size",
+        type=int,
+        default=DEFAULT_SEGMENT_SIZE,
+        metavar="BYTES",
+        help="shm only: data segment size for bulk payload handover "
+        f"(default {DEFAULT_SEGMENT_SIZE})",
+    )
+    serve.add_argument(
+        "--ring-slots",
+        type=int,
+        default=DEFAULT_RING_SLOTS,
+        metavar="N",
+        help="shm only: control-ring slots per direction "
+        f"(default {DEFAULT_RING_SLOTS})",
     )
     serve.set_defaults(run=run_serve)
 

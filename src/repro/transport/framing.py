@@ -1,19 +1,34 @@
-"""Length-prefixed binary framing for the TCP transport.
+"""Length-prefixed binary framing for the real carriers.
 
 Every frame on the wire is a 4-byte big-endian body length followed by
 the body; the body is a frame-type word followed by XDR-encoded fields
 (the same :mod:`repro.xdr` stream codec the RPC payloads use, so the
-whole wire format has one encoding discipline).
+whole wire format has one encoding discipline).  The TCP transport
+writes frames onto sockets; the shared-memory transport
+(:mod:`repro.transport.shm`) writes the *same* frames into its ring
+buffers, so both carriers share one codec and one handshake.
 
 Frame vocabulary::
 
-    HELLO    client -> server  protocol version + sender site id
-    WELCOME  server -> client  accepted version + server site id
-    GOODBYE  either direction  refusal / orderly close, with reason
-    REQUEST  client -> server  one exchange: id, src, dst, kind, body
-    REPLY    server -> client  exchange id, status, body
-    PING     client -> server  liveness probe (token)
-    PONG     server -> client  liveness echo (token)
+    HELLO        client -> server  protocol version + sender site id
+    WELCOME      server -> client  accepted version + server site id
+    GOODBYE      either direction  refusal / orderly close, with reason
+    REQUEST      client -> server  one exchange: id, src, dst, kind, body
+    REPLY        server -> client  exchange id, status, body
+    PING         client -> server  liveness probe (token)
+    PONG         server -> client  liveness echo (token)
+    SEG_REQUEST  client -> server  a REQUEST whose payload lives in a
+                                   shared data segment (name, offset,
+                                   length, extent stamp, epoch)
+    SEG_REPLY    server -> client  a REPLY shipped the same way
+    SEG_ACK      either direction  the receiver is done reading one
+                                   segment extent; the owner may reuse it
+
+The ``SEG_*`` frames are the shared-memory carrier's zero-copy path:
+instead of copying a large payload through the ring they hand over an
+*offset* into the sender's data segment (see
+:class:`repro.transport.shm.SegmentAllocator`), which the receiver maps
+as a ``memoryview`` and decodes in place.  TCP never emits them.
 
 The handshake is versioned: a connection opens with ``HELLO``; the
 server answers ``WELCOME`` when it speaks that version and ``GOODBYE``
@@ -61,6 +76,9 @@ class FrameType(enum.IntEnum):
     REPLY = 5
     PING = 6
     PONG = 7
+    SEG_REQUEST = 8
+    SEG_REPLY = 9
+    SEG_ACK = 10
 
 
 @dataclass(frozen=True)
@@ -132,7 +150,58 @@ class Pong:
     token: int
 
 
-Frame = Union[Hello, Welcome, Goodbye, Request, Reply, Ping, Pong]
+@dataclass(frozen=True)
+class SegRequest:
+    """A :class:`Request` whose payload is handed over by reference.
+
+    ``segment`` names the sender's shared data segment; the payload is
+    the ``length`` bytes at ``offset``.  ``extent`` is the extent's
+    publication stamp and ``epoch`` the segment epoch at allocation
+    time: the receiver validates both before and after reading, so a
+    recycled or invalidated extent is detected instead of silently
+    yielding a torn payload.
+    """
+
+    exchange_id: int
+    src: str
+    dst: str
+    kind: str
+    expects_reply: bool
+    segment: str
+    offset: int
+    length: int
+    extent: int
+    epoch: int
+    clock: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class SegReply:
+    """A :class:`Reply` shipped by segment reference (see above)."""
+
+    exchange_id: int
+    status: int
+    segment: str
+    offset: int
+    length: int
+    extent: int
+    epoch: int
+    clock: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class SegAck:
+    """The receiver finished reading one extent; the owner may reuse it."""
+
+    segment: str
+    offset: int
+    extent: int
+
+
+Frame = Union[
+    Hello, Welcome, Goodbye, Request, Reply, Ping, Pong,
+    SegRequest, SegReply, SegAck,
+]
 
 
 def clock_to_wire(clock) -> Tuple[Tuple[str, int], ...]:
@@ -210,6 +279,34 @@ def encode_frame_into(frame: Frame, encoder: XdrEncoder) -> memoryview:
     elif isinstance(frame, Pong):
         encoder.pack_uint32(FrameType.PONG)
         encoder.pack_uint64(frame.token)
+    elif isinstance(frame, SegRequest):
+        encoder.pack_uint32(FrameType.SEG_REQUEST)
+        encoder.pack_uint64(frame.exchange_id)
+        encoder.pack_string(frame.src)
+        encoder.pack_string(frame.dst)
+        encoder.pack_string(frame.kind)
+        encoder.pack_bool(frame.expects_reply)
+        _encode_clock(encoder, frame.clock)
+        encoder.pack_string(frame.segment)
+        encoder.pack_uint64(frame.offset)
+        encoder.pack_uint32(frame.length)
+        encoder.pack_uint64(frame.extent)
+        encoder.pack_uint64(frame.epoch)
+    elif isinstance(frame, SegReply):
+        encoder.pack_uint32(FrameType.SEG_REPLY)
+        encoder.pack_uint64(frame.exchange_id)
+        encoder.pack_uint32(frame.status)
+        _encode_clock(encoder, frame.clock)
+        encoder.pack_string(frame.segment)
+        encoder.pack_uint64(frame.offset)
+        encoder.pack_uint32(frame.length)
+        encoder.pack_uint64(frame.extent)
+        encoder.pack_uint64(frame.epoch)
+    elif isinstance(frame, SegAck):
+        encoder.pack_uint32(FrameType.SEG_ACK)
+        encoder.pack_string(frame.segment)
+        encoder.pack_uint64(frame.offset)
+        encoder.pack_uint64(frame.extent)
     else:
         raise FramingError(f"cannot encode frame {frame!r}")
     body_length = encoder.size - start - LENGTH_PREFIX.size
@@ -266,8 +363,39 @@ def decode_frame(body) -> Frame:
             )
         elif frame_type is FrameType.PING:
             frame = Ping(token=decoder.unpack_uint64())
-        else:
+        elif frame_type is FrameType.PONG:
             frame = Pong(token=decoder.unpack_uint64())
+        elif frame_type is FrameType.SEG_REQUEST:
+            frame = SegRequest(
+                exchange_id=decoder.unpack_uint64(),
+                src=decoder.unpack_string(),
+                dst=decoder.unpack_string(),
+                kind=decoder.unpack_string(),
+                expects_reply=decoder.unpack_bool(),
+                clock=_decode_clock(decoder),
+                segment=decoder.unpack_string(),
+                offset=decoder.unpack_uint64(),
+                length=decoder.unpack_uint32(),
+                extent=decoder.unpack_uint64(),
+                epoch=decoder.unpack_uint64(),
+            )
+        elif frame_type is FrameType.SEG_REPLY:
+            frame = SegReply(
+                exchange_id=decoder.unpack_uint64(),
+                status=decoder.unpack_uint32(),
+                clock=_decode_clock(decoder),
+                segment=decoder.unpack_string(),
+                offset=decoder.unpack_uint64(),
+                length=decoder.unpack_uint32(),
+                extent=decoder.unpack_uint64(),
+                epoch=decoder.unpack_uint64(),
+            )
+        else:
+            frame = SegAck(
+                segment=decoder.unpack_string(),
+                offset=decoder.unpack_uint64(),
+                extent=decoder.unpack_uint64(),
+            )
         decoder.expect_done()
     except XdrError as exc:
         raise FramingError(f"malformed frame body: {exc}") from None

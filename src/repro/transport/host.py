@@ -55,6 +55,12 @@ from repro.smartrpc.policy import POLICY_NAMES, make_policy
 from repro.smartrpc.runtime import SmartRpcRuntime, SmartSessionState
 from repro.smartrpc.validate import session_diagnostics
 from repro.transport.base import Endpoint, RetryPolicy, TransportError
+from repro.transport.shm import (
+    DEFAULT_RING_SLOTS,
+    DEFAULT_SEGMENT_SIZE,
+    ShmTransport,
+    purge_stale_segments,
+)
 from repro.transport.tcp import FaultInjector, TcpTransport
 from repro.workloads.hashtable import bind_hash_server, register_hash_types
 from repro.workloads.linked_list import bind_list_server, register_list_types
@@ -78,6 +84,67 @@ from repro.xdr.view import StructView
 
 #: Default site id of the registry host (directory + type name server).
 REGISTRY_SITE = "NS"
+
+#: Carriers a host can serve on.  ``tcp`` listens on a socket; ``shm``
+#: listens on a shared-memory segment (same-machine deployments), and
+#: its "address" is the listener segment name published to the
+#: directory as a host string with port 0.
+TRANSPORTS = ("tcp", "shm")
+
+
+def _make_transport(
+    transport: str,
+    site_id: str,
+    host: str,
+    port: int,
+    *,
+    stats: Optional[StatsCollector] = None,
+    clock=None,
+    peers=None,
+    directory_site: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultInjector] = None,
+    listen: bool = True,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ring_slots: int = DEFAULT_RING_SLOTS,
+):
+    """Build (and start) the chosen carrier for one host process."""
+    if transport == "shm":
+        # Reap segments abandoned by crashed hosts (``os._exit`` never
+        # runs ``close()``) before creating fresh ones.
+        purge_stale_segments()
+        built = ShmTransport(
+            site_id,
+            stats=stats,
+            clock=clock,
+            peers=peers,
+            directory_site=directory_site,
+            retry=retry,
+            faults=faults,
+            listen=listen,
+            segment_size=segment_size,
+            ring_slots=ring_slots,
+        )
+    elif transport == "tcp":
+        built = TcpTransport(
+            site_id,
+            host,
+            port,
+            stats=stats,
+            clock=clock,
+            peers=peers,
+            directory_site=directory_site,
+            retry=retry,
+            faults=faults,
+            listen=listen,
+        )
+    else:
+        raise TransportError(
+            f"unknown transport {transport!r} (expected one of "
+            f"{', '.join(TRANSPORTS)})"
+        )
+    built.start()
+    return built
 
 #: Seconds between directory heartbeats while a space host is serving.
 HEARTBEAT_INTERVAL = 2.0
@@ -254,18 +321,25 @@ def make_space(
     session_deadline: float = 0.0,
     exchange_timeout: float = 0.0,
     orphan_grace: float = 0.0,
-) -> Tuple[TcpTransport, RpcRuntime]:
-    """Build one TCP-attached address space: transport plus runtime.
+    transport: str = "tcp",
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ring_slots: int = DEFAULT_RING_SLOTS,
+):
+    """Build one carrier-attached address space: transport plus runtime.
 
     The runtime mirrors what :func:`repro.bench.harness.make_world`
     builds per site — workload types registered, tree interface
     imported, workload servers bound — so a space host can play caller
-    or callee for any existing experiment.  The transport is started;
-    directory registration is the caller's business (spawned hosts
-    register, in-process test transports often use static peers).
+    or callee for any existing experiment.  The transport (``tcp`` or
+    ``shm``) is started; directory registration is the caller's
+    business (spawned hosts register, in-process test transports often
+    use static peers).
     """
+    if transport == "shm" and isinstance(registry, tuple):
+        registry = registry[0]  # the directory's listener segment name
     peers = {registry_site: registry} if registry is not None else None
-    transport = TcpTransport(
+    built = _make_transport(
+        transport,
         site_id,
         host,
         port,
@@ -276,10 +350,11 @@ def make_space(
         retry=retry,
         faults=faults,
         listen=listen,
+        segment_size=segment_size,
+        ring_slots=ring_slots,
     )
-    transport.start()
     resolver = TypeResolver(
-        transport.endpoint,
+        built.endpoint,
         registry_site if registry is not None else None,
     )
     policy = _method_policy(method, closure_size)
@@ -289,8 +364,8 @@ def make_space(
     policy.exchange_timeout = exchange_timeout
     policy.orphan_grace = orphan_grace
     runtime: RpcRuntime = SmartRpcRuntime(
-        transport,
-        transport.endpoint,
+        built,
+        built.endpoint,
         arch,
         resolver=resolver,
         policy=policy,
@@ -308,7 +383,7 @@ def make_space(
         # pointer, so remote grounds can dereference, modify and — at
         # session end — write back into this process's heap.
         bind_tree_expose(runtime, build_complete_tree(runtime, expose_tree))
-    return transport, runtime
+    return built, runtime
 
 
 class ProcessHost:
@@ -332,10 +407,15 @@ class ProcessHost:
         session_deadline: float = 0.0,
         exchange_timeout: float = 0.0,
         orphan_grace: float = 0.0,
+        transport: str = "tcp",
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        ring_slots: int = DEFAULT_RING_SLOTS,
     ) -> None:
         if not serve_registry and registry is None:
             raise TransportError(
-                "a space host needs --registry HOST:PORT to find peers"
+                "a space host needs --registry (HOST:PORT, or the "
+                "registry's segment name under --transport shm) to "
+                "find peers"
             )
         self.site_id = site_id
         self.serve_registry = serve_registry
@@ -352,10 +432,16 @@ class ProcessHost:
         self.directory: Optional[SiteDirectory] = None
         self._directory_client: Optional[DirectoryClient] = None
         if serve_registry:
-            self.transport = TcpTransport(
-                site_id, host, port, stats=self._stats, retry=retry
+            self.transport = _make_transport(
+                transport,
+                site_id,
+                host,
+                port,
+                stats=self._stats,
+                retry=retry,
+                segment_size=segment_size,
+                ring_slots=ring_slots,
             )
-            self.transport.start()
             self.directory = SiteDirectory(self.transport.endpoint)
             registry_types = TypeRegistry()
             server = TypeNameServer(self.transport.endpoint, registry_types)
@@ -377,6 +463,9 @@ class ProcessHost:
                 session_deadline=session_deadline,
                 exchange_timeout=exchange_timeout,
                 orphan_grace=orphan_grace,
+                transport=transport,
+                segment_size=segment_size,
+                ring_slots=ring_slots,
             )
             self._directory_client = DirectoryClient(
                 self.transport.endpoint, registry_site
@@ -393,9 +482,17 @@ class ProcessHost:
 
     @property
     def address(self) -> Tuple[str, int]:
-        """The bound listening address."""
-        assert self.transport.address is not None
-        return self.transport.address
+        """The bound listening address.
+
+        A shm host's "address" is its listener segment name; it is
+        normalised to ``(name, 0)`` so directory registration and the
+        READY line keep the one ``host:port`` shape everywhere.
+        """
+        address = self.transport.address
+        assert address is not None
+        if isinstance(address, tuple):
+            return address
+        return (address, 0)
 
     def _handle_shutdown(self, message: Message) -> bytes:
         self._stop.set()
@@ -537,11 +634,33 @@ def parse_address(text: str) -> Tuple[str, int]:
     return host, int(port)
 
 
+def _registry_argument(args):
+    """The --registry value: ``(host, port)`` on tcp, a bare listener
+    segment name on shm (a ``name:0`` form is accepted too)."""
+    if args.registry is None:
+        return None
+    if getattr(args, "transport", "tcp") == "shm":
+        name, _, port = args.registry.rpartition(":")
+        return name if name and port.isdigit() else args.registry
+    return parse_address(args.registry)
+
+
+def _control_transport(args, role: str):
+    """A non-listening transport for ping/status/shutdown commands."""
+    return _make_transport(
+        getattr(args, "transport", "tcp"),
+        f"_{role}-{os.getpid()}",
+        "127.0.0.1",
+        0,
+        listen=False,
+        peers={args.registry_site: _registry_argument(args)},
+        directory_site=args.registry_site,
+    )
+
+
 def run_serve(args) -> int:
     """Entry point for ``python -m repro.transport serve``."""
-    registry = (
-        parse_address(args.registry) if args.registry is not None else None
-    )
+    registry = _registry_argument(args)
     faults = (
         FaultInjector.parse(args.fault) if args.fault is not None else None
     )
@@ -560,6 +679,9 @@ def run_serve(args) -> int:
         session_deadline=args.session_deadline,
         exchange_timeout=args.exchange_timeout,
         orphan_grace=args.orphan_grace,
+        transport=args.transport,
+        segment_size=args.segment_size,
+        ring_slots=args.ring_slots,
     )
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: host.request_stop())
@@ -569,14 +691,7 @@ def run_serve(args) -> int:
 
 def run_ping(args) -> int:
     """Entry point for ``python -m repro.transport ping``."""
-    registry = parse_address(args.registry)
-    transport = TcpTransport(
-        f"_ping-{os.getpid()}",
-        listen=False,
-        peers={args.registry_site: registry},
-        directory_site=args.registry_site,
-    )
-    transport.start()
+    transport = _control_transport(args, "ping")
     try:
         rtt = transport.ping(args.site, timeout=args.timeout)
         print(f"{args.site}: {rtt * 1000:.3f} ms")
@@ -590,14 +705,7 @@ def run_ping(args) -> int:
 
 def run_status(args) -> int:
     """Entry point for ``python -m repro.transport status``."""
-    registry = parse_address(args.registry)
-    transport = TcpTransport(
-        f"_status-{os.getpid()}",
-        listen=False,
-        peers={args.registry_site: registry},
-        directory_site=args.registry_site,
-    )
-    transport.start()
+    transport = _control_transport(args, "status")
     try:
         status = query_status(
             transport.endpoint,
@@ -622,14 +730,7 @@ def run_status(args) -> int:
 
 def run_shutdown(args) -> int:
     """Entry point for ``python -m repro.transport shutdown``."""
-    registry = parse_address(args.registry)
-    transport = TcpTransport(
-        f"_control-{os.getpid()}",
-        listen=False,
-        peers={args.registry_site: registry},
-        directory_site=args.registry_site,
-    )
-    transport.start()
+    transport = _control_transport(args, "control")
     try:
         transport.endpoint.send(
             args.site,

@@ -1,0 +1,1852 @@
+"""A zero-copy shared-memory carrier: segment-offset page shipping.
+
+:class:`ShmTransport` is the third carrier beside the simulator and
+:class:`~repro.transport.tcp.TcpTransport`.  It speaks the exact same
+:class:`~repro.transport.base.Transport` / ``Endpoint`` contract —
+every runtime, workload, benchmark and test runs on it unmodified via
+``make_world(transport="shm")`` — but nothing it ships crosses a
+socket.  Control traffic flows through lock-free SPSC ring buffers in
+a shared *connection segment*; bulk payloads (protected-page fills,
+activity transfers, write-back batches) never enter the rings at all:
+the sender parks the bytes once in its own *data segment* and ships a
+``SEG_REQUEST`` / ``SEG_REPLY`` frame carrying only ``(segment,
+offset, length, extent, epoch)`` — the swizzling target of a long
+pointer becomes a segment offset, and the receiver reads the payload
+in place through a ``memoryview``.
+
+Layout and protocol
+-------------------
+
+Three kinds of POSIX shared-memory segment, all named under the
+transport's random base name (``srpc-<hex>``):
+
+* the **listener segment** (the base name itself) is the transport's
+  published address — directory registrations carry it in the ``host``
+  field with port 0.  Its header holds magic, protocol version, owner
+  pid and a ready/closed word so a dialer can refuse a corpse.
+* a **connection segment** (``<listener>.c<hex>``) is created by each
+  dialer: a header with per-side closed flags and heartbeat words,
+  then two slotted SPSC rings (dialer→listener, listener→dialer).
+  A slot is ``[seq:u64][len:u32][pad][payload]``; the producer writes
+  length and payload first and publishes by storing ``seq = pos + 1``
+  last, the consumer retires the slot by storing ``seq = pos + slots``
+  (Vyukov's sequence scheme, futex-free: both sides spin with a short
+  sleep backoff; aligned 8-byte stores are the only synchronisation).
+* the **data segment** (``<listener>.d``) backs the zero-copy path:
+  a :class:`SegmentAllocator` hands out epoch-stamped *extents*
+  (``[stamp:u64][len:u32][pad]`` + payload, stamp written last as the
+  publication barrier).  The receiver validates the segment epoch and
+  extent stamp before reading and acknowledges with ``SEG_ACK`` when
+  done, which unpins the extent for reuse.  The two-phase write-back
+  of DESIGN.md §12 commits *in place*: ``WRITEBACK_PREPARE`` stages a
+  :class:`SegmentLease` on the staged batch (the bytes stay in the
+  sender's segment), and ``WRITEBACK_COMMIT`` applies through the
+  staged view and releases the lease — the commit is the flip of the
+  extent's stamp word from pinned to retired, not a re-ship of pages.
+
+Reliability mirrors :class:`TcpTransport` frame for frame: exchange
+ids carry a per-boot incarnation, senders retransmit on timeout with
+exponential backoff, receivers suppress duplicates through the shared
+:class:`~repro.transport.base.ReplyCache` plus an in-flight table, and
+the same :class:`~repro.transport.tcp.FaultInjector` drops, duplicates
+and crash-kills frames for the crash-matrix tests.  Peer death is
+detected by heartbeat words going stale (or a closed flag) — never a
+hang — and a dying transport bumps its data segment's epoch so any
+extent reference still in flight fails validation instead of reading
+freed memory (no torn page can be observed).
+
+Every exchange carries the PR 6 vector clocks in its frame header, and
+every zero-copy mapping records a ``segment-handover`` trace event
+(checked offline by rule SRPC330 and replayed by the SRPC4xx
+sanitizer).  Segments a crashed process left behind are reaped by
+:func:`purge_stale_segments`, keyed on the owner pid in each header.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.simnet.clock import CostModel
+from repro.simnet.message import Message, MessageKind
+from repro.simnet.stats import StatsCollector
+from repro.transport.base import (
+    Endpoint,
+    RetryPolicy,
+    Transport,
+    TransportError,
+)
+from repro.transport.framing import (
+    PROTOCOL_VERSION,
+    STATUS_HANDLER_ERROR,
+    STATUS_OK,
+    FramingError,
+    Frame,
+    Goodbye,
+    Hello,
+    Ping,
+    Pong,
+    Reply,
+    Request,
+    SegAck,
+    SegReply,
+    SegRequest,
+    Welcome,
+    clock_to_wire,
+    decode_frame,
+    encode_frame,
+)
+from repro.transport.tcp import (
+    HANDSHAKE_TIMEOUT,
+    FaultInjector,
+    HandshakeError,
+    RemoteHandlerError,
+)
+from repro.transport.wallclock import WallClock
+
+#: Where the kernel exposes POSIX shared memory objects.
+SHM_DIR = "/dev/shm"
+
+#: Listener/data/connection segment names all start with this.
+NAME_PREFIX = "srpc-"
+
+#: Data segment capacity (``--segment-size``).
+DEFAULT_SEGMENT_SIZE = 16 * 1024 * 1024
+
+#: Slots per SPSC ring (``--ring-slots``).
+DEFAULT_RING_SLOTS = 64
+
+#: Payload capacity of one ring slot; frames that do not fit ship
+#: their payload through the data segment instead.
+DEFAULT_SLOT_BYTES = 4096
+
+#: Seconds of silent heartbeat after which a peer is declared dead.
+DEFAULT_PEER_TIMEOUT = 2.0
+
+#: How often the poller bumps its heartbeat words.
+HEARTBEAT_INTERVAL = 0.05
+
+#: How often the listener rescans ``/dev/shm`` for new dialers.
+ACCEPT_SCAN_INTERVAL = 0.002
+
+#: A pinned extent whose SEG_ACK never arrives is reclaimed after
+#: this many seconds (the peer crashed mid-read, or a retained
+#: write-back lease was orphaned by an aborted session).
+PIN_TTL = 60.0
+
+_LISTENER_MAGIC = b"SRPCLSN1"
+_CONN_MAGIC = b"SRPCCON1"
+_DATA_MAGIC = b"SRPCDAT1"
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+# Listener segment header offsets.
+_L_MAGIC, _L_VERSION, _L_READY, _L_CLOSED, _L_PID = 0, 8, 12, 16, 24
+_LISTENER_SEG_SIZE = 64
+
+# Connection segment header offsets (rings follow at _CONN_HEADER).
+_C_MAGIC, _C_VERSION, _C_READY = 0, 8, 12
+_C_CLOSED_A, _C_CLOSED_B = 16, 20
+_C_HB_A, _C_HB_B, _C_PID_A, _C_PID_B = 24, 32, 40, 48
+_CONN_HEADER = 64
+
+# Data segment header offsets (extents follow at SegmentAllocator.HEADER).
+_D_MAGIC, _D_VERSION, _D_EPOCH, _D_PID, _D_SIZE = 0, 8, 16, 24, 32
+
+# Per-slot ring header: published sequence number, payload length.
+_SLOT_HEADER = 16
+
+# Per-extent header: publication stamp, payload length.
+_EXTENT_HEADER = 16
+
+
+def _ring_decode(data: bytes) -> Frame:
+    """Decode one ring slot (a whole wire image, prefix included).
+
+    Slots carry :func:`encode_frame` output verbatim — the 4-byte
+    length prefix is redundant next to the slot's own length word, but
+    keeping it means recorded frames are byte-identical across the TCP
+    and shm carriers.
+    """
+    return decode_frame(memoryview(data)[4:])
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach ``shm`` from the resource tracker.
+
+    CPython (bpo-39959) registers shared memory with the tracker on
+    *attach* as well as create, so any process that merely mapped a
+    segment would unlink it on exit — yanking live memory out from
+    under its surviving peers and spewing leak warnings.  Ownership is
+    ours to manage: each segment is unlinked exactly once, by its
+    creator's ``close()`` or by :func:`purge_stale_segments`.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker is an implementation detail
+        pass
+
+
+def _create_segment(name: str, size: int) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _untrack(shm)
+    return shm
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(name=name)
+    _untrack(shm)
+    return shm
+
+
+def _close_segment(
+    shm: Optional[shared_memory.SharedMemory], unlink: bool = False
+) -> None:
+    """Best-effort unmap (and unlink) tolerating exported views.
+
+    ``mmap.close`` refuses while zero-copy ``memoryview``s over the
+    segment are still alive (``BufferError``); the mapping then simply
+    lives until process exit.  ``unlink`` always proceeds — a POSIX
+    shm object stays readable for everyone who already mapped it.
+    """
+    if shm is None:
+        return
+    if unlink:
+        # Not shm.unlink(): that would send a second UNREGISTER to the
+        # resource tracker (we already detached in ``_untrack``), and
+        # the tracker daemon logs a KeyError for every unpaired one.
+        try:
+            import _posixshmem
+
+            _posixshmem.shm_unlink(shm._name)
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+    try:
+        shm.close()
+    except BufferError:
+        # Zero-copy views over the mapping are still alive.  Hand the
+        # mmap over to them (it unmaps when the last view dies), close
+        # the fd now, and blank the object so its ``__del__`` does not
+        # retry ``close()`` and re-raise at GC time.
+        try:
+            shm._mmap = None
+            if shm._fd >= 0:
+                os.close(shm._fd)
+                shm._fd = -1
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return False
+    return True
+
+
+def purge_stale_segments(prefix: str = NAME_PREFIX) -> List[str]:
+    """Unlink segments whose recorded owner process is dead.
+
+    Crash tests kill hosts with ``os._exit``, which never runs
+    ``close()``; the segments they leave in :data:`SHM_DIR` carry the
+    owner pid in their header, so anybody (the next test, a fresh
+    host) can reap them.  Returns the names unlinked.
+    """
+    reaped: List[str] = []
+    try:
+        names = sorted(os.listdir(SHM_DIR))
+    except OSError:  # pragma: no cover - no /dev/shm
+        return reaped
+    for name in names:
+        if not name.startswith(prefix):
+            continue
+        try:
+            shm = _attach_segment(name)
+        except (FileNotFoundError, OSError, ValueError):
+            continue
+        try:
+            magic = bytes(shm.buf[:8])
+            if magic == _LISTENER_MAGIC:
+                pid = _U64.unpack_from(shm.buf, _L_PID)[0]
+            elif magic == _CONN_MAGIC:
+                pid = _U64.unpack_from(shm.buf, _C_PID_A)[0]
+            elif magic == _DATA_MAGIC:
+                pid = _U64.unpack_from(shm.buf, _D_PID)[0]
+            else:
+                continue
+            if not _pid_alive(pid):
+                reaped.append(name)
+        finally:
+            _close_segment(shm, unlink=name in reaped)
+    return reaped
+
+
+class _Backoff:
+    """Spin → yield → sleep, the futex-free waiting discipline.
+
+    A handful of raw spins catches the common case (the peer is about
+    to publish), ``sleep(0)`` yields the GIL to in-process peers, and
+    a short capped sleep keeps an idle poller near-free while bounding
+    added latency to ~0.2 ms.
+    """
+
+    __slots__ = ("spins",)
+
+    def __init__(self) -> None:
+        self.spins = 0
+
+    def reset(self) -> None:
+        self.spins = 0
+
+    def pause(self) -> None:
+        self.spins += 1
+        if self.spins <= 16:
+            return
+        if self.spins <= 64:
+            time.sleep(0)
+            return
+        time.sleep(min(0.0002, 0.00001 * (self.spins - 64)))
+
+
+class _Ring:
+    """One SPSC slotted ring inside a connection segment.
+
+    Exactly one process produces and exactly one consumes; within the
+    producing process a lock serialises concurrent senders, so the
+    cross-process protocol stays single-producer.  Publication relies
+    on aligned 8-byte stores being atomic and ordered after the
+    payload write (x86-64 TSO; CPython's ``pack_into`` into an aligned
+    ``memoryview`` is a single 8-byte store).
+    """
+
+    def __init__(
+        self, mv: memoryview, base: int, slots: int, slot_bytes: int
+    ) -> None:
+        self._mv = mv
+        self._base = base
+        self._slots = slots
+        self._stride = _SLOT_HEADER + slot_bytes
+        self.capacity = slot_bytes
+        self._pos = 0  # this side's produce (or consume) position
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def region_size(slots: int, slot_bytes: int) -> int:
+        return slots * (_SLOT_HEADER + slot_bytes)
+
+    @staticmethod
+    def format(mv: memoryview, base: int, slots: int, slot_bytes: int) -> None:
+        """Initialise slot sequence numbers for an empty ring."""
+        stride = _SLOT_HEADER + slot_bytes
+        for index in range(slots):
+            _U64.pack_into(mv, base + index * stride, index)
+            _U32.pack_into(mv, base + index * stride + 8, 0)
+
+    def try_push(self, data: bytes) -> bool:
+        """Publish one frame; False when the ring is full."""
+        if len(data) > self.capacity:
+            raise FramingError(
+                f"frame of {len(data)} bytes exceeds the ring slot "
+                f"capacity of {self.capacity}"
+            )
+        with self._lock:
+            pos = self._pos
+            slot = self._base + (pos % self._slots) * self._stride
+            if _U64.unpack_from(self._mv, slot)[0] != pos:
+                return False
+            body = slot + _SLOT_HEADER
+            _U32.pack_into(self._mv, slot + 8, len(data))
+            self._mv[body : body + len(data)] = data
+            # The store of seq = pos + 1 is the publication barrier.
+            _U64.pack_into(self._mv, slot, pos + 1)
+            self._pos = pos + 1
+            return True
+
+    def try_pop(self) -> Optional[bytes]:
+        """Consume one frame; None when the ring is empty."""
+        pos = self._pos
+        slot = self._base + (pos % self._slots) * self._stride
+        if _U64.unpack_from(self._mv, slot)[0] != pos + 1:
+            return None
+        length = _U32.unpack_from(self._mv, slot + 8)[0]
+        body = slot + _SLOT_HEADER
+        data = bytes(self._mv[body : body + length])
+        # Retiring the slot hands it back to the producer's next lap.
+        _U64.pack_into(self._mv, slot, pos + self._slots)
+        self._pos = pos + 1
+        return data
+
+
+class _Waiter:
+    """One blocked exchange (or ping) awaiting its reply frame."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Optional[Frame] = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, frame: Frame) -> None:
+        if not self.event.is_set():
+            self.value = frame
+            self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        if not self.event.is_set():
+            self.error = error
+            self.event.set()
+
+    def wait(self, timeout: float) -> Frame:
+        if not self.event.wait(timeout):
+            raise TimeoutError("no reply within the attempt timeout")
+        if self.error is not None:
+            raise self.error
+        assert self.value is not None
+        return self.value
+
+
+class _Connection:
+    """One connection segment: two rings plus liveness words."""
+
+    def __init__(
+        self,
+        name: str,
+        shm: shared_memory.SharedMemory,
+        side: str,
+        slots: int,
+        slot_bytes: int,
+        owned: bool,
+    ) -> None:
+        self.name = name
+        self.shm = shm
+        self.side = side  # "a" dialed it, "b" accepted it
+        self.owned = owned  # we created the segment (and unlink it)
+        self.peer: Optional[str] = None
+        self.alive = True
+        self.pending: Dict[int, _Waiter] = {}
+        self.pings: Dict[int, _Waiter] = {}
+        mv = shm.buf
+        self._mv = mv
+        ring_a = _CONN_HEADER
+        ring_b = ring_a + _Ring.region_size(slots, slot_bytes)
+        if side == "a":
+            self.tx = _Ring(mv, ring_a, slots, slot_bytes)
+            self.rx = _Ring(mv, ring_b, slots, slot_bytes)
+            self._hb_mine, self._hb_theirs = _C_HB_A, _C_HB_B
+            self._closed_mine, self._closed_theirs = (
+                _C_CLOSED_A,
+                _C_CLOSED_B,
+            )
+        else:
+            self.tx = _Ring(mv, ring_b, slots, slot_bytes)
+            self.rx = _Ring(mv, ring_a, slots, slot_bytes)
+            self._hb_mine, self._hb_theirs = _C_HB_B, _C_HB_A
+            self._closed_mine, self._closed_theirs = (
+                _C_CLOSED_B,
+                _C_CLOSED_A,
+            )
+        self._hb_value = 0
+        self._peer_hb = -1
+        self._peer_hb_seen = time.monotonic()
+
+    def beat(self) -> None:
+        """Bump this side's heartbeat word."""
+        self._hb_value += 1
+        _U64.pack_into(self._mv, self._hb_mine, self._hb_value)
+
+    def peer_stalled(self, timeout: float) -> bool:
+        """True once the peer's heartbeat word has been silent too long."""
+        current = _U64.unpack_from(self._mv, self._hb_theirs)[0]
+        now = time.monotonic()
+        if current != self._peer_hb:
+            self._peer_hb = current
+            self._peer_hb_seen = now
+            return False
+        return now - self._peer_hb_seen > timeout
+
+    def peer_closed(self) -> bool:
+        return _U32.unpack_from(self._mv, self._closed_theirs)[0] != 0
+
+    def mark_closed(self) -> None:
+        try:
+            _U32.pack_into(self._mv, self._closed_mine, 1)
+        except Exception:  # pragma: no cover - segment already unmapped
+            pass
+
+    def write(self, data: bytes, timeout: float) -> None:
+        """Push one frame, spinning while the ring is full."""
+        deadline = time.monotonic() + timeout
+        backoff = _Backoff()
+        while True:
+            if not self.alive:
+                raise ConnectionResetError(
+                    f"connection {self.name} is closed"
+                )
+            if self.tx.try_push(data):
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"ring to {self.peer!r} full for {timeout}s"
+                )
+            backoff.pause()
+
+    def try_write(self, data: bytes, timeout: float = 0.2) -> bool:
+        """Push best-effort (acks, goodbyes); False if it did not fit."""
+        try:
+            self.write(data, timeout)
+            return True
+        except (TimeoutError, ConnectionResetError, ValueError, TypeError):
+            return False
+
+    def abort(self, error: Exception) -> None:
+        """Mark dead and fail every outstanding waiter."""
+        self.alive = False
+        for waiter in list(self.pending.values()):
+            waiter.fail(error)
+        self.pending.clear()
+        for waiter in list(self.pings.values()):
+            waiter.fail(error)
+        self.pings.clear()
+
+    def release(self) -> None:
+        """Unmap (and unlink, if we created the segment)."""
+        self._mv = memoryview(b"")
+        self.tx = self.rx = None  # type: ignore[assignment]
+        _close_segment(self.shm, unlink=self.owned)
+
+
+class SegmentLease:
+    """A receiver's claim on one extent of a peer's data segment.
+
+    Attached to :attr:`Message.carrier_ref` whenever a payload is a
+    zero-copy view.  The transport settles the lease (sends the
+    ``SEG_ACK`` that unpins the extent) as soon as the handler
+    returns, *unless* the handler called :meth:`retain` — the staged
+    write-back does exactly that, keeping the batch pinned in the
+    sender's segment until ``WRITEBACK_COMMIT`` applies it in place
+    and releases.
+    """
+
+    def __init__(
+        self,
+        transport: "ShmTransport",
+        conn: _Connection,
+        segment: str,
+        offset: int,
+        extent: int,
+        epoch: int,
+        view: memoryview,
+    ) -> None:
+        self._transport = transport
+        self._conn = conn
+        self.segment = segment
+        self.offset = offset
+        self.extent = extent
+        self.epoch = epoch
+        self.view: Optional[memoryview] = view
+        self.retained = False
+        self._released = False
+        self._lock = threading.Lock()
+
+    def retain(self) -> None:
+        """Keep the extent pinned past the handler's return."""
+        with self._lock:
+            if self._released:
+                raise TransportError(
+                    f"lease on {self.segment}+{self.offset} already released"
+                )
+            self.retained = True
+
+    def validate(self) -> None:
+        """Re-check the extent's stamp and epoch (tear detection)."""
+        self._transport._validate_extent(
+            self.segment, self.offset, self.extent, self.epoch
+        )
+
+    def release(self) -> None:
+        """Drop the view and acknowledge the extent back to its owner."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+            self.view = None
+        self._transport._lease_released(self)
+        ack = encode_frame(
+            SegAck(segment=self.segment, offset=self.offset,
+                   extent=self.extent)
+        )
+        # Best effort: a dead connection means the owner is reaping
+        # pins for this peer (or expiring them by TTL) anyway.
+        self._conn.try_write(ack)
+
+    def settle(self) -> None:
+        """Release unless the handler retained the lease."""
+        if not self.retained:
+            self.release()
+
+
+class SegmentPayload:
+    """A payload already resident in this transport's data segment.
+
+    The fully zero-copy *send* path: ``reserve_payload`` hands out a
+    writable view straight into the data segment, the caller fills it
+    (or decodes/encodes in place), and ``exchange`` ships only the
+    offset — no per-byte work happens in the carrier at all.  Plain
+    ``bytes`` payloads still work everywhere and cost the carrier one
+    copy into the segment.
+    """
+
+    __slots__ = ("offset", "stamp", "view", "length", "published")
+
+    def __init__(
+        self, offset: int, stamp: int, view: memoryview, length: int
+    ) -> None:
+        self.offset = offset
+        self.stamp = stamp
+        self.view = view
+        self.length = length
+        self.published = False
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __bool__(self) -> bool:
+        return self.length > 0
+
+
+class SegmentAllocator:
+    """Epoch-stamped extent allocator over one data segment.
+
+    Extents are bump-allocated and *pinned* until the receiving peer
+    acknowledges them (``SEG_ACK``) — the allocator skips pinned
+    regions when the bump pointer laps the segment.  Every extent
+    carries a monotonically increasing stamp written *after* its
+    payload: the stamp both publishes the bytes and lets a reader
+    detect a stale or torn reference (stamp mismatch).  The segment
+    header's epoch word invalidates every outstanding reference at
+    once — bumped when the owner shuts down or a peer is declared
+    dead, so a crashed owner's extents fail validation instead of
+    being read half-written.
+    """
+
+    HEADER = 64
+
+    def __init__(self, name: str, size: int) -> None:
+        if size < self.HEADER + _EXTENT_HEADER + 64:
+            raise ValueError(f"data segment size {size} too small")
+        self.name = name
+        self.size = size
+        self.shm = _create_segment(name, size)
+        self._mv = self.shm.buf
+        # The magic goes in LAST: purge_stale_segments treats a valid
+        # magic with a dead (or zero) owner pid as reapable, so the pid
+        # must be visible before the segment identifies itself.
+        _U32.pack_into(self._mv, _D_VERSION, PROTOCOL_VERSION)
+        _U64.pack_into(self._mv, _D_EPOCH, 1)
+        _U64.pack_into(self._mv, _D_PID, os.getpid())
+        _U64.pack_into(self._mv, _D_SIZE, size)
+        self._mv[_D_MAGIC : _D_MAGIC + 8] = _DATA_MAGIC
+        self._epoch = 1
+        self._stamps = itertools.count(1)
+        self._bump = self.HEADER
+        # offset -> [end, stamp, pinned_at, peer]
+        self._pins: Dict[int, List] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate every outstanding extent reference at once."""
+        with self._lock:
+            self._epoch += 1
+            _U64.pack_into(self._mv, _D_EPOCH, self._epoch)
+
+    def pinned_bytes(self) -> int:
+        with self._lock:
+            return sum(end - off for off, (end, *_rest) in self._pins.items())
+
+    def reserve(
+        self,
+        length: int,
+        peer: Optional[str] = None,
+        timeout: float = HANDSHAKE_TIMEOUT,
+    ) -> Tuple[int, int, memoryview]:
+        """Pin a fresh extent; returns ``(offset, stamp, view)``.
+
+        The view is the writable payload region.  The extent is not
+        visible to readers until :meth:`publish` stamps it.
+        """
+        need = _EXTENT_HEADER + length
+        need += (-need) % 64
+        if need > self.size - self.HEADER:
+            raise TransportError(
+                f"payload of {length} bytes exceeds the {self.size}-byte "
+                f"data segment {self.name!r} (raise --segment-size)"
+            )
+        deadline = time.monotonic() + timeout
+        backoff = _Backoff()
+        while True:
+            with self._lock:
+                offset = self._find(need)
+                if offset is not None:
+                    stamp = next(self._stamps)
+                    self._pins[offset] = [
+                        offset + need, stamp, time.monotonic(), peer,
+                    ]
+                    break
+            self.expire_pins()
+            if time.monotonic() > deadline:
+                raise TransportError(
+                    f"data segment {self.name!r} has no room for "
+                    f"{length} bytes ({len(self._pins)} extents pinned; "
+                    "raise --segment-size)"
+                )
+            backoff.pause()
+        body = offset + _EXTENT_HEADER
+        _U32.pack_into(self._mv, offset + 8, length)
+        return offset, stamp, self._mv[body : body + length]
+
+    def _find(self, need: int) -> Optional[int]:
+        """First gap of ``need`` bytes not overlapping a pinned extent."""
+        pins = sorted(
+            (off, entry[0]) for off, entry in self._pins.items()
+        )
+        for start in (self._bump, self.HEADER):
+            pos = start
+            while pos + need <= self.size:
+                clash = next(
+                    (p for p in pins if p[0] < pos + need and p[1] > pos),
+                    None,
+                )
+                if clash is None:
+                    self._bump = pos + need
+                    return pos
+                pos = clash[1]
+        return None
+
+    def publish(self, offset: int) -> None:
+        """Stamp the extent — the store that makes it readable."""
+        with self._lock:
+            entry = self._pins.get(offset)
+            if entry is None:
+                raise TransportError(
+                    f"publish of unreserved extent at offset {offset}"
+                )
+            stamp = entry[1]
+        _U64.pack_into(self._mv, offset, stamp)
+
+    def release(self, offset: int, stamp: int) -> bool:
+        """Unpin the extent, guarded by its stamp (stale acks no-op)."""
+        with self._lock:
+            entry = self._pins.get(offset)
+            if entry is None or entry[1] != stamp:
+                return False
+            del self._pins[offset]
+            return True
+
+    def release_peer(self, peer: str) -> int:
+        """Unpin everything shipped to a now-dead peer."""
+        with self._lock:
+            stale = [
+                off for off, entry in self._pins.items()
+                if entry[3] == peer
+            ]
+            for off in stale:
+                del self._pins[off]
+            return len(stale)
+
+    def expire_pins(self, ttl: float = PIN_TTL) -> int:
+        """Reclaim pins whose SEG_ACK never arrived (crashed readers)."""
+        now = time.monotonic()
+        with self._lock:
+            stale = [
+                off for off, entry in self._pins.items()
+                if now - entry[2] > ttl
+            ]
+            for off in stale:
+                del self._pins[off]
+            return len(stale)
+
+    def close(self) -> None:
+        """Invalidate outstanding references, unmap and unlink."""
+        try:
+            self.bump_epoch()
+        except (ValueError, TypeError):  # pragma: no cover - unmapped
+            pass
+        self._mv = memoryview(b"")
+        _close_segment(self.shm, unlink=True)
+
+
+class ShmEndpoint(Endpoint):
+    """The one address space a :class:`ShmTransport` hosts."""
+
+    def __init__(
+        self,
+        site_id: str,
+        transport: "ShmTransport",
+        reply_cache_limit: int = 4096,
+    ) -> None:
+        super().__init__(site_id, reply_cache_limit=reply_cache_limit)
+        self.transport = transport
+
+    def send(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        reply_kind: Optional[MessageKind] = None,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Run one framed exchange with ``dst``; blocks until replied."""
+        return self.transport.exchange(
+            dst, kind, payload, reply_kind, timeout=timeout
+        )
+
+
+class ShmTransport(Transport):
+    """Ring-buffered, segment-offset-shipped at-most-once exchanges.
+
+    One instance per OS process (or per simulated "process" when tests
+    run several transports inside one interpreter — the rings work
+    identically across threads).  ``peers`` maps site ids to listener
+    segment names; unknown destinations resolve through the site
+    directory at ``directory_site``, whose records carry the segment
+    name in their ``host`` field (port 0).
+    """
+
+    def __init__(
+        self,
+        site_id: str,
+        *,
+        clock=None,
+        cost_model: Optional[CostModel] = None,
+        stats: Optional[StatsCollector] = None,
+        peers: Optional[Dict[str, str]] = None,
+        directory_site: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultInjector] = None,
+        reply_cache_limit: int = 4096,
+        max_workers: int = 32,
+        listen: bool = True,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+        ring_slots: int = DEFAULT_RING_SLOTS,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        peer_timeout: float = DEFAULT_PEER_TIMEOUT,
+        protocol_version: int = PROTOCOL_VERSION,
+        accept_versions: Optional[Iterable[int]] = None,
+    ) -> None:
+        super().__init__(
+            clock=clock if clock is not None else WallClock(),
+            cost_model=cost_model,
+            stats=stats,
+        )
+        if ring_slots < 2 or slot_bytes < 256:
+            raise ValueError(
+                f"bad ring geometry slots={ring_slots} bytes={slot_bytes}"
+            )
+        self.site_id = site_id
+        self._listen = listen
+        # Shared by reference (like TcpTransport): make_world mutates
+        # one peer table in place as each stack's listener comes up.
+        self._peers: Dict[str, str] = peers if peers is not None else {}
+        self._directory_site = directory_site
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._faults = faults
+        self._segment_size = segment_size
+        self._ring_slots = ring_slots
+        self._slot_bytes = slot_bytes
+        self._peer_timeout = peer_timeout
+        self._protocol_version = protocol_version
+        self._accept_versions = frozenset(
+            accept_versions if accept_versions is not None
+            else (protocol_version,)
+        )
+        # Payloads above this ship as segment extents; the threshold
+        # leaves headroom in the slot for the frame envelope.
+        self.spill_threshold = slot_bytes - 512
+        self.endpoint = ShmEndpoint(
+            site_id, self, reply_cache_limit=reply_cache_limit
+        )
+        self.name = NAME_PREFIX + os.urandom(6).hex()
+        self.address: Optional[str] = None
+        self.retransmissions = 0
+        self.dials: Dict[str, int] = {}
+        self.handovers = 0
+        incarnation = int.from_bytes(os.urandom(4), "big")
+        self._exchange_ids = itertools.count((incarnation << 32) | 1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=f"shm-{site_id}"
+        )
+        self._allocator: Optional[SegmentAllocator] = None
+        self._listener_shm: Optional[shared_memory.SharedMemory] = None
+        self._conns: Dict[str, _Connection] = {}  # segment name -> conn
+        self._by_peer: Dict[str, _Connection] = {}
+        self._accepting: Dict[str, Tuple[_Connection, float]] = {}
+        self._seen_conn_names: Set[str] = set()
+        self._conn_lock = threading.Lock()
+        self._dial_lock = threading.Lock()
+        self._serve_lock = threading.Lock()
+        self._inflight: Dict[Tuple[str, int], threading.Event] = {}
+        self._attached: Dict[str, Tuple[shared_memory.SharedMemory,
+                                        memoryview]] = {}
+        self._attach_lock = threading.Lock()
+        self._deferred = threading.local()
+        self._all_deferred: Set[SegmentLease] = set()
+        self._deferred_lock = threading.Lock()
+        self._poller: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> Optional[str]:
+        """Create segments, start the poller; return the address
+        (the listener segment name) or ``None`` when not listening."""
+        if self._poller is not None:
+            raise TransportError(
+                f"transport for {self.site_id!r} already started"
+            )
+        if not os.path.isdir(SHM_DIR):  # pragma: no cover - exotic host
+            raise TransportError(
+                f"shared-memory carrier needs {SHM_DIR} (POSIX shm)"
+            )
+        self._allocator = SegmentAllocator(
+            self.name + ".d", self._segment_size
+        )
+        if self._listen:
+            shm = _create_segment(self.name, _LISTENER_SEG_SIZE)
+            mv = shm.buf
+            # Magic last: a concurrent purge must never see the magic
+            # with the owner-pid word still zero (it would reap us).
+            _U32.pack_into(mv, _L_VERSION, self._protocol_version)
+            _U64.pack_into(mv, _L_PID, os.getpid())
+            _U32.pack_into(mv, _L_CLOSED, 0)
+            _U32.pack_into(mv, _L_READY, 1)
+            mv[_L_MAGIC : _L_MAGIC + 8] = _LISTENER_MAGIC
+            self._listener_shm = shm
+            self.address = self.name
+        self._poller = threading.Thread(
+            target=self._poll_loop,
+            name=f"shm-poll-{self.site_id}",
+            daemon=True,
+        )
+        self._poller.start()
+        return self.address
+
+    def close(self) -> None:
+        """Say goodbye, invalidate the segment epoch, unlink everything."""
+        if self._closed:
+            return
+        self._closed = True
+        # Settle zero-copy reply leases still deferred anywhere.
+        with self._deferred_lock:
+            leases = list(self._all_deferred)
+        for lease in leases:
+            lease.release()
+        goodbye = encode_frame(Goodbye(self.site_id, "shutting down"))
+        with self._conn_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            if conn.alive:
+                conn.mark_closed()
+                conn.try_write(goodbye, timeout=0.05)
+            conn.abort(ConnectionResetError("transport closed"))
+        if self._listener_shm is not None:
+            try:
+                _U32.pack_into(self._listener_shm.buf, _L_CLOSED, 1)
+            except (ValueError, TypeError):  # pragma: no cover
+                pass
+        self._stop.set()
+        if self._poller is not None:
+            self._poller.join(HANDSHAKE_TIMEOUT)
+        self._executor.shutdown(wait=False)
+        with self._conn_lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+            self._by_peer.clear()
+            for conn, _deadline in self._accepting.values():
+                conns.append(conn)
+            self._accepting.clear()
+        for conn in conns:
+            conn.release()
+        with self._attach_lock:
+            attached = list(self._attached.values())
+            self._attached.clear()
+        for shm, _mv in attached:
+            _close_segment(shm)
+        if self._allocator is not None:
+            self._allocator.close()
+        _close_segment(self._listener_shm, unlink=True)
+        self._listener_shm = None
+
+    # -- peer addressing ------------------------------------------------------
+
+    def add_peer(self, site_id: str, address: Union[str, Tuple]) -> None:
+        """Teach this transport which listener segment ``site_id`` owns.
+
+        Accepts a bare segment name or a directory-shaped ``(host,
+        port)`` pair whose host carries the segment name.
+        """
+        if isinstance(address, tuple):
+            address = address[0]
+        self._peers[site_id] = str(address)
+
+    def _resolve(self, dst: str) -> str:
+        name = self._peers.get(dst)
+        if name is not None:
+            return name
+        if self._directory_site is not None and dst != self._directory_site:
+            from repro.namesvc.directory import (
+                decode_lookup_reply,
+                encode_lookup,
+            )
+
+            payload = self.exchange(
+                self._directory_site,
+                MessageKind.SITE_LOOKUP,
+                encode_lookup(dst),
+                MessageKind.DIR_REPLY,
+            )
+            host, _port, _age = decode_lookup_reply(bytes(payload), dst)
+            self._peers[dst] = host
+            return host
+        raise TransportError(
+            f"site {self.site_id!r} has no route to {dst!r}"
+        )
+
+    # -- zero-copy send buffers ----------------------------------------------
+
+    def reserve_payload(self, length: int) -> SegmentPayload:
+        """A writable view straight into this transport's data segment.
+
+        Fill it and pass the :class:`SegmentPayload` to ``exchange`` /
+        ``send`` in place of ``bytes``: the carrier then ships only
+        the segment offset — zero per-byte cost end to end.
+        """
+        if self._allocator is None:
+            raise TransportError(
+                f"transport for {self.site_id!r} is not started"
+            )
+        offset, stamp, view = self._allocator.reserve(length)
+        return SegmentPayload(offset, stamp, view, length)
+
+    # -- client side ----------------------------------------------------------
+
+    def exchange(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: Union[bytes, SegmentPayload],
+        reply_kind: Optional[MessageKind] = None,
+        timeout: Optional[float] = None,
+    ) -> bytes:
+        """Blocking request/response exchange with at-most-once retries.
+
+        ``timeout`` caps the *whole* exchange — handshakes, ring
+        pushes, retransmits and all — failing it with
+        :class:`TransportError` once elapsed instead of running the
+        full retry schedule.
+        """
+        if self._poller is None:
+            raise TransportError(
+                f"transport for {self.site_id!r} is not started"
+            )
+        if threading.current_thread() is self._poller:
+            raise TransportError(
+                "exchange() must not be called from the poller thread"
+            )
+        self._flush_deferred()
+        cap = timeout
+        deadline = time.monotonic() + cap if cap is not None else None
+        name = self._resolve(dst)
+        exchange_id = next(self._exchange_ids)
+        spill: Optional[SegmentPayload] = None
+        settled = False
+        try:
+            if isinstance(payload, SegmentPayload):
+                spill = payload
+            elif len(payload) > self.spill_threshold:
+                spill = self.reserve_payload(len(payload))
+                spill.view[:] = payload
+            clock = clock_to_wire(self.endpoint.vclock.tick())
+            if spill is not None:
+                if not spill.published:
+                    self._allocator.publish(spill.offset)
+                    spill.published = True
+                frame: Frame = SegRequest(
+                    exchange_id=exchange_id,
+                    src=self.site_id,
+                    dst=dst,
+                    kind=kind.value,
+                    expects_reply=reply_kind is not None,
+                    segment=self._allocator.name,
+                    offset=spill.offset + _EXTENT_HEADER,
+                    length=spill.length,
+                    extent=spill.stamp,
+                    epoch=self._allocator.epoch,
+                    clock=clock,
+                )
+                logical = spill.view if spill.view is not None else b""
+            else:
+                frame = Request(
+                    exchange_id=exchange_id,
+                    src=self.site_id,
+                    dst=dst,
+                    kind=kind.value,
+                    expects_reply=reply_kind is not None,
+                    payload=bytes(payload),
+                    clock=clock,
+                )
+                logical = frame.payload
+            encoded = encode_frame(frame)
+            reply = self._run_attempts(
+                dst, name, kind, exchange_id, encoded, logical,
+                cap, deadline,
+            )
+            settled = True  # peer acks (or TTL-reaps) the extent now
+            return self._finish(dst, kind, reply_kind, reply)
+        finally:
+            if not settled and spill is not None and self._allocator:
+                self._allocator.release(spill.offset, spill.stamp)
+
+    def _run_attempts(
+        self,
+        dst: str,
+        name: str,
+        kind: MessageKind,
+        exchange_id: int,
+        encoded: bytes,
+        logical,
+        cap: Optional[float],
+        deadline: Optional[float],
+    ) -> Frame:
+        """The retry loop: transmit, wait, back off — TcpTransport's."""
+        attempts = 0
+        last_error: Optional[BaseException] = None
+        for attempt_timeout in self._retry.timeouts():
+            attempts += 1
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportError(
+                        f"{kind.value} exchange {self.site_id!r}->"
+                        f"{dst!r} exceeded its {cap}s cap after "
+                        f"{attempts - 1} attempt(s) ({last_error})"
+                    )
+                attempt_timeout = min(attempt_timeout, remaining)
+            try:
+                conn = self._acquire(dst, name)
+            except HandshakeError:
+                raise
+            except (ConnectionError, OSError, TimeoutError) as exc:
+                last_error = exc
+                self.note_timeout(
+                    f"connect to {dst!r} failed ({exc}); retrying",
+                    site=self.site_id,
+                )
+                time.sleep(min(attempt_timeout, 0.05))
+                continue
+            waiter = _Waiter()
+            conn.pending[exchange_id] = waiter
+            action = (
+                self._faults.request_action() if self._faults else None
+            )
+            try:
+                message = Message(
+                    src=self.site_id, dst=dst, kind=kind, payload=logical
+                )
+                if action == FaultInjector.DROP:
+                    # Charged as sent, lost in transit — the simulator's
+                    # lossy path does exactly this.
+                    self.note_message(message, stamp=self._stamp())
+                    self.stats.record_event(
+                        self.clock.now,
+                        "loss",
+                        f"injected drop of {kind.value} "
+                        f"{self.site_id}->{dst}",
+                        data={"site": self.site_id},
+                    )
+                else:
+                    conn.write(encoded, attempt_timeout)
+                    self.note_message(message, stamp=self._stamp())
+                    if self._faults is not None and (
+                        self._faults.crash_after_send(kind)
+                    ):
+                        # Planned death: the frame is in the ring (the
+                        # peer will process it) but this process dies
+                        # before its reply can land.
+                        os._exit(FaultInjector.CRASH_EXIT_CODE)
+                    if action == FaultInjector.DUPLICATE:
+                        conn.write(encoded, attempt_timeout)
+                        self.note_message(message, stamp=self._stamp())
+                reply = waiter.wait(attempt_timeout)
+            except (ConnectionError, OSError, TimeoutError) as exc:
+                last_error = exc
+                self.retransmissions += 1
+                self.note_timeout(
+                    f"{kind.value} exchange {self.site_id}->{dst} timed "
+                    "out; retransmitting",
+                    site=self.site_id,
+                )
+                continue
+            finally:
+                conn.pending.pop(exchange_id, None)
+            return reply
+        raise TransportError(
+            f"{kind.value} exchange {self.site_id!r}->{dst!r} failed "
+            f"after {attempts} attempts ({last_error})"
+        )
+
+    def _stamp(self) -> Optional[dict]:
+        """The endpoint's causal stamp, or None when tracing is off."""
+        return self.endpoint.stamp() if self.stats.tracing else None
+
+    def _finish(
+        self,
+        dst: str,
+        kind: MessageKind,
+        reply_kind: Optional[MessageKind],
+        reply: Frame,
+    ) -> bytes:
+        # The reply piggybacks the responder's clock: merging it makes
+        # everything the handler did happen-before this site's next
+        # traced event.
+        self.endpoint.vclock.merge(dict(reply.clock))
+        if isinstance(reply, SegReply):
+            payload: bytes = self._open_reply(dst, reply)
+        else:
+            payload = reply.payload
+        if reply.status == STATUS_HANDLER_ERROR:
+            raise RemoteHandlerError(
+                f"{kind.value} handler at {dst!r} failed: "
+                f"{bytes(payload).decode('utf-8', 'replace')}"
+            )
+        if reply.status != STATUS_OK:
+            raise TransportError(
+                f"bad reply status {reply.status!r} from {dst!r}"
+            )
+        if reply_kind is None:
+            if payload:
+                raise TransportError(
+                    f"one-way {kind} message to {dst!r} produced a reply"
+                )
+            return b""
+        self.note_message(
+            Message(
+                src=dst,
+                dst=self.site_id,
+                kind=reply_kind,
+                payload=payload,
+            ),
+            stamp=self._stamp(),
+        )
+        return payload
+
+    def _open_reply(self, dst: str, reply: SegReply) -> memoryview:
+        """Map a reply extent; the ack is deferred until this thread's
+        next exchange so the caller can consume the view first."""
+        conn = self._by_peer.get(dst)
+        if conn is None or not conn.alive:
+            raise TransportError(
+                f"reply extent from {dst!r} arrived on a dead connection"
+            )
+        view, lease = self._map_extent(
+            conn, dst, "reply", reply.segment, reply.offset,
+            reply.length, reply.extent, reply.epoch,
+        )
+        self._defer_release(lease)
+        return view
+
+    def _defer_release(self, lease: SegmentLease) -> None:
+        acks = getattr(self._deferred, "acks", None)
+        if acks is None:
+            acks = []
+            self._deferred.acks = acks
+        acks.append(lease)
+        with self._deferred_lock:
+            self._all_deferred.add(lease)
+
+    def _flush_deferred(self) -> None:
+        acks = getattr(self._deferred, "acks", None)
+        if not acks:
+            return
+        pending, self._deferred.acks = list(acks), []
+        for lease in pending:
+            lease.release()
+
+    def _lease_released(self, lease: SegmentLease) -> None:
+        with self._deferred_lock:
+            self._all_deferred.discard(lease)
+
+    # -- connection management ------------------------------------------------
+
+    def _acquire(self, dst: str, name: str) -> _Connection:
+        conn = self._by_peer.get(dst)
+        if conn is not None and conn.alive:
+            return conn
+        with self._dial_lock:
+            conn = self._by_peer.get(dst)
+            if conn is not None and conn.alive:
+                return conn
+            return self._dial(dst, name)
+
+    def _dial(self, dst: str, listener_name: str) -> _Connection:
+        try:
+            listener = _attach_segment(listener_name)
+        except (FileNotFoundError, OSError, ValueError) as exc:
+            raise ConnectionRefusedError(
+                f"no listener segment {listener_name!r} ({exc})"
+            ) from None
+        try:
+            if bytes(listener.buf[:8]) != _LISTENER_MAGIC:
+                raise ConnectionRefusedError(
+                    f"segment {listener_name!r} is not a listener"
+                )
+            if _U32.unpack_from(listener.buf, _L_READY)[0] != 1 or (
+                _U32.unpack_from(listener.buf, _L_CLOSED)[0] != 0
+            ):
+                raise ConnectionRefusedError(
+                    f"listener {listener_name!r} is not accepting"
+                )
+            pid = _U64.unpack_from(listener.buf, _L_PID)[0]
+            if not _pid_alive(pid):
+                raise ConnectionRefusedError(
+                    f"listener {listener_name!r} owner (pid {pid}) is dead"
+                )
+        finally:
+            _close_segment(listener)
+        conn_name = f"{listener_name}.c{os.urandom(4).hex()}"
+        size = _CONN_HEADER + 2 * _Ring.region_size(
+            self._ring_slots, self._slot_bytes
+        )
+        shm = _create_segment(conn_name, size)
+        mv = shm.buf
+        # Pid before magic: purge_stale_segments reaps any magicked
+        # segment whose owner-pid word reads zero or dead.
+        _U32.pack_into(mv, _C_VERSION, self._protocol_version)
+        _U64.pack_into(mv, _C_PID_A, os.getpid())
+        mv[_C_MAGIC : _C_MAGIC + 8] = _CONN_MAGIC
+        ring_a = _CONN_HEADER
+        ring_b = ring_a + _Ring.region_size(self._ring_slots,
+                                            self._slot_bytes)
+        _Ring.format(mv, ring_a, self._ring_slots, self._slot_bytes)
+        _Ring.format(mv, ring_b, self._ring_slots, self._slot_bytes)
+        _U32.pack_into(mv, _C_READY, 1)
+        conn = _Connection(
+            conn_name, shm, "a", self._ring_slots, self._slot_bytes,
+            owned=True,
+        )
+        conn.peer = dst
+        conn.beat()
+        # Handshake runs on this thread; the poller takes over only
+        # after the connection is registered (SPSC stays SPSC).
+        hello = encode_frame(
+            Hello(self._protocol_version, self.site_id)
+        )
+        conn.write(hello, HANDSHAKE_TIMEOUT)
+        deadline = time.monotonic() + HANDSHAKE_TIMEOUT
+        backoff = _Backoff()
+        frame: Optional[Frame] = None
+        while frame is None:
+            data = conn.rx.try_pop()
+            if data is not None:
+                frame = _ring_decode(data)
+                break
+            if time.monotonic() > deadline:
+                conn.release()
+                raise ConnectionRefusedError(
+                    f"no WELCOME from {dst!r} within {HANDSHAKE_TIMEOUT}s"
+                )
+            backoff.pause()
+        if isinstance(frame, Goodbye):
+            conn.release()
+            raise HandshakeError(
+                f"site {dst!r} refused the connection: {frame.reason}"
+            )
+        if (
+            not isinstance(frame, Welcome)
+            or frame.version != self._protocol_version
+        ):
+            conn.release()
+            raise HandshakeError(
+                f"bad handshake from {dst!r}: expected WELCOME v"
+                f"{self._protocol_version}, got {frame!r}"
+            )
+        with self._conn_lock:
+            self._conns[conn_name] = conn
+            self._by_peer[dst] = conn
+        self.dials[dst] = self.dials.get(dst, 0) + 1
+        return conn
+
+    def _drop_conn(self, conn: _Connection, error: Exception) -> None:
+        conn.mark_closed()
+        conn.abort(error)
+        with self._conn_lock:
+            self._conns.pop(conn.name, None)
+            if conn.peer and self._by_peer.get(conn.peer) is conn:
+                del self._by_peer[conn.peer]
+        if conn.peer and self._allocator is not None:
+            self._allocator.release_peer(conn.peer)
+        conn.release()
+
+    def ping(self, dst: str, timeout: float = 2.0) -> float:
+        """Round-trip a transport-level PING; returns the RTT seconds."""
+        if self._poller is None:
+            raise TransportError(
+                f"transport for {self.site_id!r} is not started"
+            )
+        name = self._resolve(dst)
+        try:
+            conn = self._acquire(dst, name)
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            raise TransportError(
+                f"no PONG from {dst!r} within {timeout}s ({exc})"
+            ) from None
+        token = next(self._exchange_ids)
+        waiter = _Waiter()
+        conn.pings[token] = waiter
+        started = time.monotonic()
+        try:
+            conn.write(encode_frame(Ping(token)), timeout)
+            waiter.wait(timeout)
+        except (ConnectionError, OSError, TimeoutError) as exc:
+            raise TransportError(
+                f"no PONG from {dst!r} within {timeout}s ({exc})"
+            ) from None
+        finally:
+            conn.pings.pop(token, None)
+        return time.monotonic() - started
+
+    # -- poller ---------------------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        backoff = _Backoff()
+        last_scan = 0.0
+        last_beat = 0.0
+        while not self._stop.is_set():
+            progressed = False
+            now = time.monotonic()
+            if self._listen and now - last_scan >= ACCEPT_SCAN_INTERVAL:
+                last_scan = now
+                try:
+                    progressed |= self._scan_for_dialers()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            progressed |= self._pump_accepting(now)
+            with self._conn_lock:
+                conns = list(self._conns.values())
+            beat = now - last_beat >= HEARTBEAT_INTERVAL
+            if beat:
+                last_beat = now
+            for conn in conns:
+                if not conn.alive:
+                    continue
+                try:
+                    progressed |= self._pump(conn)
+                except Exception:  # pragma: no cover - defensive
+                    self._drop_conn(
+                        conn, ConnectionResetError("poll failure")
+                    )
+                    continue
+                if beat:
+                    try:
+                        conn.beat()
+                        gone = conn.peer_closed() or (
+                            conn.peer_stalled(self._peer_timeout)
+                        )
+                    except Exception:  # segment released under us
+                        gone = True
+                    if gone:
+                        self._drop_conn(
+                            conn,
+                            ConnectionResetError(
+                                f"peer {conn.peer!r} is gone"
+                            ),
+                        )
+            if beat and self._allocator is not None:
+                self._allocator.expire_pins()
+            if progressed:
+                backoff.reset()
+            else:
+                backoff.pause()
+
+    def _scan_for_dialers(self) -> bool:
+        """Attach fresh connection segments dialers created for us."""
+        prefix = self.name + ".c"
+        progressed = False
+        try:
+            names = os.listdir(SHM_DIR)
+        except OSError:  # pragma: no cover - /dev/shm vanished
+            return False
+        for name in names:
+            if not name.startswith(prefix) or name in self._seen_conn_names:
+                continue
+            self._seen_conn_names.add(name)
+            try:
+                shm = _attach_segment(name)
+            except (FileNotFoundError, OSError, ValueError):
+                continue
+            if bytes(shm.buf[:8]) != _CONN_MAGIC or (
+                _U32.unpack_from(shm.buf, _C_READY)[0] != 1
+            ):
+                _close_segment(shm)
+                self._seen_conn_names.discard(name)
+                continue
+            conn = _Connection(
+                name, shm, "b", self._ring_slots, self._slot_bytes,
+                owned=False,
+            )
+            _U64.pack_into(shm.buf, _C_PID_B, os.getpid())
+            conn.beat()
+            self._accepting[name] = (
+                conn, time.monotonic() + HANDSHAKE_TIMEOUT
+            )
+            progressed = True
+        return progressed
+
+    def _pump_accepting(self, now: float) -> bool:
+        """Finish handshakes on connections still awaiting HELLO."""
+        progressed = False
+        for name, (conn, deadline) in list(self._accepting.items()):
+            data = conn.rx.try_pop()
+            if data is None:
+                if now > deadline:
+                    del self._accepting[name]
+                    conn.release()
+                continue
+            progressed = True
+            del self._accepting[name]
+            try:
+                frame = _ring_decode(data)
+            except FramingError:
+                conn.release()
+                continue
+            if not isinstance(frame, Hello):
+                conn.try_write(encode_frame(
+                    Goodbye(self.site_id, "expected HELLO")
+                ))
+                conn.release()
+                continue
+            if frame.version not in self._accept_versions:
+                supported = ", ".join(
+                    str(v) for v in sorted(self._accept_versions)
+                )
+                conn.try_write(encode_frame(Goodbye(
+                    self.site_id,
+                    f"unsupported protocol version {frame.version} "
+                    f"(supported: {supported})",
+                )))
+                conn.release()
+                continue
+            conn.peer = frame.site_id
+            conn.try_write(encode_frame(
+                Welcome(frame.version, self.site_id)
+            ))
+            with self._conn_lock:
+                self._conns[name] = conn
+                self._by_peer.setdefault(frame.site_id, conn)
+        return progressed
+
+    def _pump(self, conn: _Connection) -> bool:
+        """Drain one connection's receive ring."""
+        progressed = False
+        while True:
+            data = conn.rx.try_pop()
+            if data is None:
+                return progressed
+            progressed = True
+            try:
+                frame = _ring_decode(data)
+            except FramingError:
+                self._drop_conn(
+                    conn, ConnectionResetError("malformed frame")
+                )
+                return True
+            if isinstance(frame, (Request, SegRequest)):
+                self._executor.submit(self._serve_request, conn, frame)
+            elif isinstance(frame, (Reply, SegReply)):
+                waiter = conn.pending.get(frame.exchange_id)
+                # A late reply to an exchange that already timed out
+                # and completed via retransmission is simply dropped.
+                if waiter is not None:
+                    waiter.resolve(frame)
+            elif isinstance(frame, Ping):
+                conn.try_write(encode_frame(Pong(frame.token)))
+            elif isinstance(frame, Pong):
+                waiter = conn.pings.pop(frame.token, None)
+                if waiter is not None:
+                    waiter.resolve(frame)
+            elif isinstance(frame, SegAck):
+                if self._allocator is not None:
+                    self._allocator.release(
+                        frame.offset - _EXTENT_HEADER, frame.extent
+                    )
+            elif isinstance(frame, Goodbye):
+                self._drop_conn(
+                    conn,
+                    ConnectionResetError(
+                        f"peer said goodbye: {frame.reason}"
+                    ),
+                )
+                return True
+
+    # -- segment mapping ------------------------------------------------------
+
+    def _data_view(self, segment: str) -> memoryview:
+        with self._attach_lock:
+            entry = self._attached.get(segment)
+            if entry is None:
+                try:
+                    shm = _attach_segment(segment)
+                except (FileNotFoundError, OSError, ValueError) as exc:
+                    raise TransportError(
+                        f"cannot attach data segment {segment!r} ({exc})"
+                    ) from None
+                if bytes(shm.buf[:8]) != _DATA_MAGIC:
+                    _close_segment(shm)
+                    raise TransportError(
+                        f"segment {segment!r} is not a data segment"
+                    )
+                entry = (shm, shm.buf)
+                self._attached[segment] = entry
+            return entry[1]
+
+    def _validate_extent(
+        self, segment: str, offset: int, extent: int, epoch: int
+    ) -> memoryview:
+        mv = self._data_view(segment)
+        seg_epoch = _U64.unpack_from(mv, _D_EPOCH)[0]
+        if seg_epoch != epoch:
+            raise TransportError(
+                f"stale extent reference into {segment!r}: frame epoch "
+                f"{epoch} vs segment epoch {seg_epoch} (owner restarted "
+                "or shut down)"
+            )
+        header = offset - _EXTENT_HEADER
+        if header < SegmentAllocator.HEADER or offset > len(mv):
+            raise TransportError(
+                f"extent offset {offset} out of bounds for {segment!r}"
+            )
+        stamp = _U64.unpack_from(mv, header)[0]
+        if stamp != extent:
+            raise TransportError(
+                f"torn extent at {segment!r}+{offset}: stamp {stamp} "
+                f"vs expected {extent} (extent reused or unpublished)"
+            )
+        return mv
+
+    def _map_extent(
+        self,
+        conn: _Connection,
+        src: str,
+        kind: str,
+        segment: str,
+        offset: int,
+        length: int,
+        extent: int,
+        epoch: int,
+    ) -> Tuple[memoryview, SegmentLease]:
+        """Validate and map one extent; records the handover event."""
+        mv = self._validate_extent(segment, offset, extent, epoch)
+        stored = _U32.unpack_from(mv, offset - 8)[0]
+        if stored != length:
+            raise TransportError(
+                f"torn extent at {segment!r}+{offset}: length {stored} "
+                f"vs expected {length}"
+            )
+        view = mv[offset : offset + length]
+        lease = SegmentLease(
+            self, conn, segment, offset, extent, epoch, view
+        )
+        self.handovers += 1
+        if self.stats.tracing:
+            data = {
+                "src": src,
+                "dst": self.site_id,
+                "kind": kind,
+                "segment": segment,
+                "offset": offset,
+                "length": length,
+                "extent": extent,
+                "epoch": epoch,
+                # The live epoch word, re-read at mapping time: rule
+                # SRPC330 checks it against the frame's epoch offline.
+                "segment_epoch": _U64.unpack_from(mv, _D_EPOCH)[0],
+            }
+            data.update(self.endpoint.stamp())
+            self.stats.record_event(
+                self.clock.now,
+                "segment-handover",
+                f"{src}->{self.site_id} {kind} {length}B in place "
+                f"@{segment}+{offset}",
+                data=data,
+            )
+        return view, lease
+
+    # -- server side ----------------------------------------------------------
+
+    def _serve_request(
+        self, conn: _Connection, request: Union[Request, SegRequest]
+    ) -> None:
+        """Run (or replay) one exchange and push its reply frame."""
+        key = (request.src, request.exchange_id)
+        cache = self.endpoint.reply_cache
+        encoded: Optional[bytes] = None
+        while True:
+            with self._serve_lock:
+                encoded = cache.get(key)
+                if encoded is not None:
+                    break
+                gate = self._inflight.get(key)
+                if gate is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            # A retransmission arrived while the first transmission's
+            # handler is still running: wait for that one result.
+            gate.wait(HANDSHAKE_TIMEOUT)
+        if encoded is None:
+            try:
+                encoded = self._execute(conn, request)
+                with self._serve_lock:
+                    cache.put(key, encoded)
+            finally:
+                with self._serve_lock:
+                    gate = self._inflight.pop(key, None)
+                if gate is not None:
+                    gate.set()
+        if encoded is None:  # pragma: no cover - crash path only
+            return
+        if self._faults is not None and (
+            self._faults.reply_action() == FaultInjector.DROP
+        ):
+            self.stats.record_event(
+                self.clock.now,
+                "loss",
+                f"injected drop of reply {self.site_id}->{request.src}",
+                data={"site": self.site_id},
+            )
+            return
+        # The peer will retransmit and hit the reply cache if this
+        # push fails (ring full, connection torn down).
+        conn.try_write(encoded, timeout=1.0)
+
+    def _execute(
+        self, conn: _Connection, request: Union[Request, SegRequest]
+    ) -> bytes:
+        """Dispatch one request to its handler on this worker thread."""
+        lease: Optional[SegmentLease] = None
+        try:
+            kind = MessageKind(request.kind)
+            if self._faults is not None and (
+                self._faults.crash_on_receive(kind)
+            ):
+                # Planned death: the frame arrived but this process
+                # dies before its handler can run.
+                os._exit(FaultInjector.CRASH_EXIT_CODE)
+            # Observe the sender's piggybacked clock before the handler
+            # runs, so every event the handler records happens-after
+            # everything the sender did up to this exchange.
+            self.endpoint.vclock.merge(dict(request.clock))
+            if isinstance(request, SegRequest):
+                payload, lease = self._map_extent(
+                    conn, request.src, request.kind, request.segment,
+                    request.offset, request.length, request.extent,
+                    request.epoch,
+                )
+            else:
+                payload = request.payload
+            message = Message(
+                src=request.src,
+                dst=request.dst,
+                kind=kind,
+                payload=payload,
+                carrier_ref=lease,
+            )
+            body = self.endpoint.handle(message)
+            if lease is not None and not lease.retained:
+                # The handler is done with the view: re-check for a
+                # tear, then hand the extent back to its owner.
+                lease.validate()
+                lease.release()
+            if not request.expects_reply and body:
+                raise TransportError(
+                    f"one-way {kind} message produced a reply"
+                )
+            reply = self._build_reply(
+                request, STATUS_OK, body, request.src
+            )
+        except Exception as exc:  # noqa: BLE001 - ship transport errors
+            if lease is not None and not lease.retained:
+                lease.release()
+            reply = encode_frame(Reply(
+                request.exchange_id,
+                STATUS_HANDLER_ERROR,
+                f"{type(exc).__name__}: {exc}".encode("utf-8"),
+                clock=clock_to_wire(self.endpoint.vclock.tick()),
+            ))
+        return reply
+
+    def _build_reply(
+        self,
+        request: Union[Request, SegRequest],
+        status: int,
+        body: Union[bytes, SegmentPayload],
+        peer: str,
+    ) -> bytes:
+        """Encode the reply, spilling large bodies to the data segment."""
+        clock = clock_to_wire(self.endpoint.vclock.tick())
+        spill: Optional[SegmentPayload] = None
+        if isinstance(body, SegmentPayload):
+            spill = body
+        elif len(body) > self.spill_threshold and self._allocator:
+            spill = self.reserve_payload(len(body))
+            spill.view[:] = body
+        if spill is not None and self._allocator is not None:
+            if not spill.published:
+                self._allocator.publish(spill.offset)
+                spill.published = True
+            # Re-route the pin to the requester so a dead peer's
+            # unacked reply extent is reaped with its connection.
+            with self._allocator._lock:
+                entry = self._allocator._pins.get(spill.offset)
+                if entry is not None:
+                    entry[3] = peer
+            return encode_frame(SegReply(
+                exchange_id=request.exchange_id,
+                status=status,
+                segment=self._allocator.name,
+                offset=spill.offset + _EXTENT_HEADER,
+                length=spill.length,
+                extent=spill.stamp,
+                epoch=self._allocator.epoch,
+                clock=clock,
+            ))
+        return encode_frame(Reply(
+            request.exchange_id, status, bytes(body), clock=clock
+        ))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShmTransport({self.site_id!r}, address={self.address!r})"
+        )

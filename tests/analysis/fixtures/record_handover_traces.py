@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Regenerate the recorded segment-handover fixtures (shm carrier).
+
+Runs two bulk smart-RPC sessions over the in-process shared-memory
+world: the ground walks and dirties a 255-node tree homed at the
+callee, so the fetch replies and the two-phase write-back batches all
+exceed the control-ring spill threshold and ship as *segment extents*
+— every zero-copy mapping lands in the trace as a ``segment-handover``
+event (offset, length, extent stamp, epoch, causal stamp).
+
+The good trace lands in ``traces/ok/shm_session.trace``; each mutant
+in ``traces/bad/`` breaks exactly one carrier promise, so SRPC330
+fires per file:
+
+* ``handover_stale_epoch.trace`` — one mapping's live segment epoch
+  disagrees with the frame's epoch: the reader mapped memory whose
+  owner had restarted;
+* ``handover_epoch_regress.trace`` — a segment's observed epoch steps
+  backwards: a recycled segment name or corrupt trace;
+* ``handover_vc_reorder.trace`` — two handovers recorded at one site
+  are swapped, so the site's vector clock steps backwards;
+* ``handover_missing_field.trace`` — a mapping dropped its extent
+  stamp from the record.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/record_handover_traces.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.bench.harness import CALLEE, PROPOSED, make_world
+from repro.simnet.stats import TraceEvent
+from repro.simnet.tracefmt import save_trace
+from repro.workloads.traversal import bind_tree_expose, tree_expose_client
+from repro.workloads.trees import TREE_NODE_TYPE_ID, build_complete_tree
+from repro.xdr.view import StructView
+
+HERE = Path(__file__).resolve().parent
+OK = HERE / "traces" / "ok"
+BAD = HERE / "traces" / "bad"
+NODES = 255  # batches well past the control-ring spill threshold
+
+
+def record_sessions():
+    """Two bulk sessions; every large batch ships as a handover."""
+    with make_world(PROPOSED, transport="shm", trace=True) as world:
+        remote_root = build_complete_tree(world.callee, NODES)
+        bind_tree_expose(world.callee, remote_root)
+        stub = tree_expose_client(world.caller, CALLEE)
+        spec = world.caller.resolver.resolve(TREE_NODE_TYPE_ID)
+        for _ in range(2):
+            with world.caller.session() as session:
+                stack = [stub.tree_root(session)]
+                while stack:
+                    address = stack.pop()
+                    if address == 0:
+                        continue
+                    view = StructView(
+                        world.caller.mem, address, spec, world.caller.arch
+                    )
+                    value = int.from_bytes(view.get("data"), "big") + 1
+                    view.set("data", value.to_bytes(8, "big"))
+                    stack.append(view.get("right"))
+                    stack.append(view.get("left"))
+        return list(world.stats.events)
+
+
+def mutate(events, index, **changes):
+    """One event with ``changes`` applied to (or popped from) its data."""
+    event = events[index]
+    data = dict(event.data or {})
+    for key, value in changes.items():
+        if value is None:
+            data.pop(key, None)
+        else:
+            data[key] = value
+    copy = list(events)
+    copy[index] = TraceEvent(event.time, event.category, event.detail, data)
+    return copy
+
+
+def swap_data(events, first, second):
+    """The two events trade payloads (positions and times stay put)."""
+    copy = list(events)
+    a, b = events[first], events[second]
+    copy[first] = TraceEvent(a.time, a.category, a.detail, b.data)
+    copy[second] = TraceEvent(b.time, b.category, b.detail, a.data)
+    return copy
+
+
+def main() -> None:
+    OK.mkdir(parents=True, exist_ok=True)
+    BAD.mkdir(parents=True, exist_ok=True)
+    events = record_sessions()
+    handovers = [
+        i for i, e in enumerate(events) if e.category == "segment-handover"
+    ]
+    if len(handovers) < 2:
+        raise SystemExit(f"only {len(handovers)} handover(s) recorded")
+
+    last = handovers[-1]
+    last_data = events[last].data
+
+    # A segment mapped at least twice, so a decremented final epoch
+    # regresses below the segment's earlier observations.
+    segments = Counter(events[i].data["segment"] for i in handovers)
+    repeated = next(
+        (
+            i
+            for i in reversed(handovers)
+            if segments[events[i].data["segment"]] >= 2
+        ),
+        None,
+    )
+    if repeated is None:
+        raise SystemExit("no segment was mapped twice")
+
+    # Two handovers recorded at one site, for the clock-reorder swap.
+    sites = Counter(events[i].data["site"] for i in handovers)
+    site = next(s for s, n in sites.most_common(1) if n >= 2)
+    at_site = [i for i in handovers if events[i].data["site"] == site]
+
+    save_trace(events, OK / "shm_session.trace")
+    save_trace(
+        mutate(
+            events, last, segment_epoch=last_data["segment_epoch"] + 1
+        ),
+        BAD / "handover_stale_epoch.trace",
+        validate=False,
+    )
+    repeated_data = events[repeated].data
+    save_trace(
+        mutate(
+            events,
+            repeated,
+            epoch=repeated_data["epoch"] - 1,
+            segment_epoch=repeated_data["segment_epoch"] - 1,
+        ),
+        BAD / "handover_epoch_regress.trace",
+        validate=False,
+    )
+    save_trace(
+        swap_data(events, at_site[-2], at_site[-1]),
+        BAD / "handover_vc_reorder.trace",
+        validate=False,
+    )
+    save_trace(
+        mutate(events, last, extent=None),
+        BAD / "handover_missing_field.trace",
+        validate=False,
+    )
+    print(
+        f"recorded {len(events)} events ({len(handovers)} handovers) "
+        f"into {OK} and 4 handover mutants into {BAD}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -87,6 +87,43 @@ class TestRecordedCrashSession:
         assert phases == {"prepare", "commit"}
 
 
+class TestRecordedShmSession:
+    """``ok/shm_session.trace`` (see ``record_handover_traces.py``):
+    two bulk sessions over the shared-memory carrier, every large
+    batch shipped as a zero-copy segment handover."""
+
+    def test_good_shm_trace_is_clean(self):
+        assert codes(lint_trace(TRACES / "ok" / "shm_session.trace")) == []
+
+    def test_shm_trace_records_handovers_both_phases(self):
+        events = load_trace(TRACES / "ok" / "shm_session.trace")
+        handovers = [
+            event.data or {}
+            for event in events
+            if event.category == "segment-handover"
+        ]
+        assert len(handovers) >= 2
+        # The write-back path commits out of the segment: its prepare
+        # batch crosses as a handover, not a stream.
+        assert any(
+            d.get("kind") == "writeback_prepare" for d in handovers
+        )
+        # Every handover carries the full tuple and causal stamp.
+        from repro.analysis.trace_rules import HANDOVER_FIELDS
+
+        for data in handovers:
+            assert set(HANDOVER_FIELDS) <= set(data)
+
+    def test_shm_trace_passes_the_sanitizer(self):
+        from repro.analysis import sanitizer
+
+        races = DiagnosticCollector()
+        sanitizer.analyze_trace_file(
+            TRACES / "ok" / "shm_session.trace", races
+        )
+        assert list(races) == [], [d.render() for d in races]
+
+
 @pytest.mark.parametrize(
     "trace, code",
     [
@@ -105,6 +142,10 @@ class TestRecordedCrashSession:
         ("abort_without_reap.trace", "SRPC320"),
         ("commit_without_prepare.trace", "SRPC321"),
         ("activity_after_reap.trace", "SRPC322"),
+        ("handover_stale_epoch.trace", "SRPC330"),
+        ("handover_epoch_regress.trace", "SRPC330"),
+        ("handover_vc_reorder.trace", "SRPC330"),
+        ("handover_missing_field.trace", "SRPC330"),
     ],
 )
 class TestMutatedTraces:

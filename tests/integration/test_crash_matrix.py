@@ -1,4 +1,4 @@
-"""The crash matrix: every role × every protocol step, both transports.
+"""The crash matrix: every role × every protocol step, every carrier.
 
 One scenario (:func:`repro.transport.host.run_crash_session`) runs a
 ground session from G against two exposing homes H and T — calls,
@@ -13,16 +13,20 @@ kills exactly one participant at exactly one protocol step:
 * role ``third`` — the second home T dies the same way.
 
 Determinism comes from counting frames, not from timing: the simnet
-cells use :meth:`Network.plan_crash` and the TCP cells spawn victim
-processes with ``crash-send=KIND:N`` / ``crash-recv=KIND:N`` fault
-clauses (the process ``os._exit``\\ s with code 86 at the planned
-frame).  After every cell the survivors must converge: the aborting
-ground reaps its own state, peers of a dead ground reap on heartbeat
-age, peers of a live aborting ground are invalidated — no session
-stays open, no cache page stays mapped, and every surviving home heap
-is either fully original or fully updated.  There are no wall-clock
-sleeps anywhere: TCP cells block on the hosts' STATUS readiness
-barrier instead.
+cells use :meth:`Network.plan_crash` and the real-process cells spawn
+victim processes with ``crash-send=KIND:N`` / ``crash-recv=KIND:N``
+fault clauses (the process ``os._exit``\\ s with code 86 at the
+planned frame).  The real-process half runs once per carrier — TCP
+sockets and shared-memory segments — because shm adds crash surface of
+its own: a victim dies holding ring slots and pinned segment extents,
+and the survivors must reap those (stale-owner purge, extent pin
+expiry, epoch validation) as well as the sessions.  After every cell
+the survivors must converge: the aborting ground reaps its own state,
+peers of a dead ground reap on heartbeat age, peers of a live aborting
+ground are invalidated — no session stays open, no cache page stays
+mapped, and every surviving home heap is either fully original or
+fully updated.  There are no wall-clock sleeps anywhere: process cells
+block on the hosts' STATUS readiness barrier instead.
 """
 
 import os
@@ -56,6 +60,7 @@ from repro.transport.host import (
     query_status,
     run_crash_session,
 )
+from repro.transport.shm import purge_stale_segments
 from repro.transport.tracemerge import export_trace, merge_trace_files
 from repro.workloads.traversal import (
     TREE_EXPOSE,
@@ -303,7 +308,7 @@ def test_simnet_caller_survives_callee_crash_and_runs_again():
     _gate_events(stats.events)
 
 
-# -- the TCP half ------------------------------------------------------------
+# -- the real-process half (TCP and shared memory) ---------------------------
 
 SPAWN_TIMEOUT = 30
 CRASH_EXIT = 86
@@ -331,12 +336,13 @@ def _env():
 class HostProcess:
     """One spawned ``python -m repro.transport serve`` process."""
 
-    def __init__(self, site_id, *args):
+    def __init__(self, site_id, *args, transport="tcp"):
         self.site_id = site_id
+        self.transport = transport
         self.proc = subprocess.Popen(
             [
                 sys.executable, "-m", "repro.transport", "serve",
-                "--site", site_id, *args,
+                "--site", site_id, "--transport", transport, *args,
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -352,6 +358,7 @@ class HostProcess:
             [
                 sys.executable, "-m", "repro.transport", "shutdown",
                 "--site", self.site_id, "--registry", registry_addr,
+                "--transport", self.transport,
             ],
             env=_env(),
             capture_output=True,
@@ -374,15 +381,29 @@ class HostProcess:
             self.proc.wait()
 
 
-@pytest.fixture(scope="module")
-def registry():
-    """One registry shared by every TCP cell (sites use unique ids)."""
-    host = HostProcess("NS", "--serve-registry")
+@pytest.fixture(scope="module", params=["tcp", "shm"])
+def registry(request):
+    """One registry per carrier, shared by that carrier's cells
+    (sites use unique ids)."""
+    host = HostProcess("NS", "--serve-registry", transport=request.param)
     yield host
     host.kill()
+    if request.param == "shm":
+        # The registry dies by SIGKILL and the final cell's victim by
+        # os._exit: neither unlinks, so sweep their segments here.
+        purge_stale_segments()
 
 
-def _spawn_home(site_id, registry_addr, trace_path, fault=None):
+def _register(directory, transport):
+    """Register a transport whose address may be a segment name."""
+    address = transport.address
+    if isinstance(address, tuple):
+        directory.register(*address)
+    else:  # shm: the listener segment name, published with port 0
+        directory.register(address, 0)
+
+
+def _spawn_home(site_id, registry_addr, trace_path, carrier, fault=None):
     args = [
         "--registry", registry_addr,
         "--method", "lazy",
@@ -393,7 +414,7 @@ def _spawn_home(site_id, registry_addr, trace_path, fault=None):
     ]
     if fault is not None:
         args += ["--fault", fault]
-    return HostProcess(site_id, *args)
+    return HostProcess(site_id, *args, transport=carrier)
 
 
 def _barrier(endpoint, site, *, min_reaped=0):
@@ -414,7 +435,8 @@ def _checksum(runtime, home):
 
 
 @pytest.mark.parametrize("role,step", CELLS)
-def test_tcp_crash_cell(role, step, registry, tmp_path):
+def test_process_crash_cell(role, step, registry, tmp_path):
+    carrier = registry.transport
     host, port = registry.addr.rsplit(":", 1)
     registry_pair = (host, int(port))
     cell = f"{role[0]}{STEPS.index(step)}"
@@ -435,6 +457,7 @@ def test_tcp_crash_cell(role, step, registry, tmp_path):
                     sites[name],
                     registry.addr,
                     tmp_path / f"{name}.jsonl",
+                    carrier,
                     fault=fault if name == victim else None,
                 )
             )
@@ -448,7 +471,9 @@ def test_tcp_crash_cell(role, step, registry, tmp_path):
                 "--heartbeat", str(HEARTBEAT),
                 "--fault", fault,
             ]
-            ground_host = HostProcess(sites[GROUND], *ground_args)
+            ground_host = HostProcess(
+                sites[GROUND], *ground_args, transport=carrier
+            )
             hosts.append(ground_host)
             transport, runtime = make_space(
                 f"probe{cell}",
@@ -457,9 +482,10 @@ def test_tcp_crash_cell(role, step, registry, tmp_path):
                 stats=stats,
                 retry=PATIENT_RETRY,
                 exchange_timeout=EXCHANGE_TIMEOUT,
+                transport=carrier,
             )
             directory = DirectoryClient(transport.endpoint, "NS")
-            directory.register(*transport.address)
+            _register(directory, transport)
             with pytest.raises(TransportError):
                 transport.endpoint.send(
                     sites[GROUND],
@@ -492,9 +518,10 @@ def test_tcp_crash_cell(role, step, registry, tmp_path):
                 stats=stats,
                 retry=PATIENT_RETRY,
                 exchange_timeout=EXCHANGE_TIMEOUT,
+                transport=carrier,
             )
             directory = DirectoryClient(transport.endpoint, "NS")
-            directory.register(*transport.address)
+            _register(directory, transport)
             with pytest.raises(SessionAbortedError) as aborted:
                 run_crash_session(runtime, peers)
             assert aborted.value.reason.startswith(
@@ -560,4 +587,4 @@ def test_tcp_crash_cell(role, step, registry, tmp_path):
     races = DiagnosticCollector()
     sanitizer.analyze_trace_file(merged, races)
     assert list(races) == [], [d.render() for d in races]
-    export_trace(merged, f"crash_{role}_{step}")
+    export_trace(merged, f"crash_{carrier}_{role}_{step}")

@@ -5,7 +5,9 @@ Two independent invariances meet here:
 * **Transport equivalence** — the transport is a carrier, not a
   participant: for any seeded session the smart-RPC layer must produce
   byte-identical results and identical protocol counters whether the
-  frames cross a simulated network or real localhost sockets.
+  frames cross a simulated network, real localhost sockets, or
+  shared-memory segments (where bulk payloads never touch a wire at
+  all — the counters still charge the logical bytes).
 * **Policy equivalence** — a transfer policy decides *how much* moves
   *when*, never *what the procedure computes*: every preset must
   produce the identical procedure result on every workload, over both
@@ -29,6 +31,7 @@ from repro.bench.harness import (
     METHODS,
     POLICIES,
     PROPOSED,
+    SHM,
     SIMNET,
     TCP,
     make_world,
@@ -86,9 +89,13 @@ class TestTreeEquivalence:
         nodes = 2 ** (depth + 1) - 1
         _align_session_ids()
         simulated = _tree_run(SIMNET, method, nodes, procedure, ratio)
-        real = _tree_run(TCP, method, nodes, procedure, ratio)
-        for name in COMPARED_FIELDS:
-            assert getattr(simulated, name) == getattr(real, name), name
+        for transport in (TCP, SHM):
+            real = _tree_run(transport, method, nodes, procedure, ratio)
+            for name in COMPARED_FIELDS:
+                assert getattr(simulated, name) == getattr(real, name), (
+                    transport,
+                    name,
+                )
 
     @settings(max_examples=5, deadline=None)
     @given(depths, st.integers(min_value=1, max_value=8))
@@ -97,10 +104,11 @@ class TestTreeEquivalence:
         _align_session_ids()
         runs = [
             _tree_run_path(transport, nodes, seed)
-            for transport in (SIMNET, TCP)
+            for transport in (SIMNET, TCP, SHM)
         ]
-        for name in COMPARED_FIELDS:
-            assert getattr(runs[0], name) == getattr(runs[1], name), name
+        for run in runs[1:]:
+            for name in COMPARED_FIELDS:
+                assert getattr(runs[0], name) == getattr(run, name), name
 
 
 def _tree_run_path(transport, nodes, seed):
@@ -143,23 +151,25 @@ class TestPolicyEquivalence:
     def test_policy_counters_match_across_transports(self, policy):
         runs = []
         _align_session_ids()
-        for transport in (SIMNET, TCP):
+        for transport in (SIMNET, TCP, SHM):
             with make_world(policy, transport=transport) as world:
                 runs.append(
                     run_tree_call(world, 31, "search", ratio=1.0)
                 )
-        for name in COMPARED_FIELDS:
-            assert getattr(runs[0], name) == getattr(runs[1], name), name
+        for run in runs[1:]:
+            for name in COMPARED_FIELDS:
+                assert getattr(runs[0], name) == getattr(run, name), name
 
     @pytest.mark.parametrize("policy", POLICIES)
     def test_hash_counters_match_across_transports(self, policy):
         runs = []
         _align_session_ids()
-        for transport in (SIMNET, TCP):
+        for transport in (SIMNET, TCP, SHM):
             with make_world(policy, transport=transport) as world:
                 runs.append(run_hash_call(world, 40, 3))
-        for name in COMPARED_FIELDS:
-            assert getattr(runs[0], name) == getattr(runs[1], name), name
+        for run in runs[1:]:
+            for name in COMPARED_FIELDS:
+                assert getattr(runs[0], name) == getattr(run, name), name
 
 
 class TestMutationEquivalence:
@@ -175,7 +185,7 @@ class TestMutationEquivalence:
     def test_scale_bytes_identical(self, values, factor):
         outcomes = []
         _align_session_ids()
-        for transport in (SIMNET, TCP):
+        for transport in (SIMNET, TCP, SHM):
             with make_world(PROPOSED, transport=transport) as world:
                 world.caller.import_interface(LIST_OPS)
                 head = build_list(world.caller, values)
@@ -189,5 +199,5 @@ class TestMutationEquivalence:
                         world.stats.total_bytes,
                     )
                 )
-        assert outcomes[0] == outcomes[1]
+        assert outcomes[0] == outcomes[1] == outcomes[2]
         assert outcomes[0][0] == [v * factor for v in values]

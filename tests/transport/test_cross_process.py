@@ -61,9 +61,13 @@ def _env():
 class HostProcess:
     """One spawned ``python -m repro.transport serve`` process."""
 
-    def __init__(self, *args):
+    def __init__(self, *args, transport="tcp"):
+        self.transport = transport
         self.proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.transport", "serve", *args],
+            [
+                sys.executable, "-m", "repro.transport", "serve",
+                "--transport", transport, *args,
+            ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
@@ -78,6 +82,7 @@ class HostProcess:
             [
                 sys.executable, "-m", "repro.transport", "shutdown",
                 "--site", self.site_id, "--registry", registry_addr,
+                "--transport", self.transport,
             ],
             env=_env(),
             capture_output=True,
@@ -95,14 +100,20 @@ class HostProcess:
             self.proc.wait()
 
 
-@pytest.fixture
-def deployment(tmp_path):
-    """Registry + two space hosts, each writing a trace log."""
+@pytest.fixture(params=["tcp", "shm"])
+def deployment(request, tmp_path):
+    """Registry + two space hosts, each writing a trace log.
+
+    Runs once per carrier: the same four-process scenario must hold
+    over localhost sockets and over shared-memory segments.
+    """
+    transport = request.param
     hosts = []
     try:
         registry = HostProcess(
             "--site", "NS", "--serve-registry",
             "--trace", str(tmp_path / "ns.jsonl"),
+            transport=transport,
         )
         registry.site_id = "NS"
         hosts.append(registry)
@@ -113,6 +124,7 @@ def deployment(tmp_path):
             "--trace", str(tmp_path / "b.jsonl"),
             "--heartbeat", "0.5",
             "--expose-tree", str(EXPOSED_NODES),
+            transport=transport,
         )
         b.site_id = "B"
         hosts.append(b)
@@ -122,17 +134,18 @@ def deployment(tmp_path):
             "--site", "C", "--registry", registry.addr,
             "--trace", str(tmp_path / "c.jsonl"),
             "--fault", "drop-reply=2",
+            transport=transport,
         )
         c.site_id = "C"
         hosts.append(c)
-        yield registry, b, c
+        yield transport, registry, b, c
     finally:
         for host in hosts:
             host.kill()
 
 
 def test_session_across_processes_with_faults(deployment, tmp_path):
-    registry, b, c = deployment
+    carrier, registry, b, c = deployment
     host, port = registry.addr.rsplit(":", 1)
     stats = StatsCollector(trace=True)
     # The caller drops its 2nd request transmission and duplicates its
@@ -142,10 +155,15 @@ def test_session_across_processes_with_faults(deployment, tmp_path):
         registry=(host, int(port)),
         stats=stats,
         faults=FaultInjector(drop_requests={2}, duplicate_requests={5}),
+        transport=carrier,
     )
     try:
         directory = DirectoryClient(transport.endpoint, "NS")
-        directory.register(*transport.address)
+        address = transport.address
+        if isinstance(address, tuple):  # shm publishes (segment, 0)
+            directory.register(*address)
+        else:
+            directory.register(address, 0)
         assert set(directory.list()) == {"A", "B", "C"}
 
         root = build_complete_tree(runtime, NODES)
@@ -226,10 +244,11 @@ def test_session_across_processes_with_faults(deployment, tmp_path):
 
 
 def test_heartbeat_keeps_liveness_fresh(deployment):
-    registry, b, c = deployment
+    carrier, registry, b, c = deployment
     host, port = registry.addr.rsplit(":", 1)
     transport, _ = make_space(
-        "probe", method="eager", registry=(host, int(port))
+        "probe", method="eager", registry=(host, int(port)),
+        transport=carrier,
     )
     try:
         directory = DirectoryClient(transport.endpoint, "NS")
@@ -247,10 +266,11 @@ def test_heartbeat_keeps_liveness_fresh(deployment):
 
 
 def test_deregistered_site_is_forgotten(deployment):
-    registry, b, c = deployment
+    carrier, registry, b, c = deployment
     host, port = registry.addr.rsplit(":", 1)
     transport, _ = make_space(
-        "probe", method="eager", registry=(host, int(port))
+        "probe", method="eager", registry=(host, int(port)),
+        transport=carrier,
     )
     try:
         directory = DirectoryClient(transport.endpoint, "NS")

@@ -65,9 +65,12 @@ from repro.bench.harness import (
 )
 from repro.smartrpc.policy import PipelinedPolicy
 
+import bench_hotpath
+
 HERE = Path(__file__).resolve().parent
 FIG4_BASELINE = HERE / "BENCH_fig4.json"
 ABLATION_BASELINE = HERE / "BENCH_ablation.json"
+HOTPATH_BASELINE = bench_hotpath.HOTPATH_BASELINE
 
 #: Relative regression allowed before --compare fails.
 TOLERANCE = 0.10
@@ -163,7 +166,11 @@ def _round_trip_reductions(runs: Dict) -> Dict:
 def record_fig4() -> Dict:
     runs = _record_runs(SIMNET)
     return {
-        "meta": {"transport": "simnet", "tolerance": TOLERANCE},
+        "meta": {
+            "transport": "simnet",
+            "tolerance": TOLERANCE,
+            **bench_hotpath.host_meta(),
+        },
         "runs": runs,
         "round_trip_reduction_vs_paper": _round_trip_reductions(runs),
     }
@@ -227,6 +234,7 @@ def record_carrier(transport: str) -> Dict:
             "transport": transport,
             "tolerance": TOLERANCE,
             "compared": list(CARRIER_COMPARED),
+            **bench_hotpath.host_meta(),
         },
         "runs": runs,
         "round_trip_reduction_vs_paper": _round_trip_reductions(runs),
@@ -262,7 +270,11 @@ def record_ablation() -> Dict:
             for variant, factory in ABLATION_VARIANTS.items()
         }
     return {
-        "meta": {"transport": "simnet", "tolerance": TOLERANCE},
+        "meta": {
+            "transport": "simnet",
+            "tolerance": TOLERANCE,
+            **bench_hotpath.host_meta(),
+        },
         "runs": runs,
     }
 
@@ -349,7 +361,9 @@ def main(argv=None) -> int:
             "wrote " + " and ".join(path.name for path, _ in recorded)
         )
         for _, current in recorded:
-            cuts_by_workload = current["round_trip_reduction_vs_paper"]
+            cuts_by_workload = current.get(
+                "round_trip_reduction_vs_paper", {}
+            )
             for workload, cuts in cuts_by_workload.items():
                 print(f"  {workload}: round-trip cut vs paper {cuts}")
             slopes = current.get("carrier_page_fill_ns_per_byte")
@@ -378,6 +392,23 @@ def main(argv=None) -> int:
         problems.extend(
             compare(baseline, current, path.name, policies=policies)
         )
+    if args.transport == SIMNET:
+        # The memory hot-path gate rides along with the simnet compare:
+        # re-measure and check the host-independent shape (tokens never
+        # slower than the checked path, bulk under half of it, resident
+        # walk over the speedup floor).
+        if not HOTPATH_BASELINE.exists():
+            problems.append(
+                f"{HOTPATH_BASELINE.name}: no committed baseline"
+            )
+        else:
+            problems.extend(
+                bench_hotpath.compare(
+                    json.loads(HOTPATH_BASELINE.read_text()),
+                    bench_hotpath.record_hotpath(),
+                    HOTPATH_BASELINE.name,
+                )
+            )
     if problems:
         print("baseline comparison FAILED:", file=sys.stderr)
         for problem in problems:

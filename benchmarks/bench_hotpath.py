@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Record the memory hot-path baseline (``BENCH_hotpath.json``).
+
+What the page-access-token + bulk-run work actually bought, measured
+on the host and pinned so CI notices if it erodes:
+
+* ``per_access_ns`` — nanoseconds per resident 4-byte program-plane
+  access on each path: ``checked`` (``use_tokens=False``, the legacy
+  ``AddressSpace.read`` plane every access), ``tokenized`` (the page
+  token fast path), and ``bulk_amortized`` (one ``load_array`` run
+  divided by its modelled access count).
+* ``linked_list_4096_total`` — the acceptance workload: wall
+  milliseconds of one ``total`` call over the 4096-node list on a
+  warm session (every page resident, the paper's steady state), on
+  the shipped hot path and with tokens disabled, plus the first call
+  (fill included) for reference.
+
+Wall numbers measure the host, so the regression gate
+(``baseline.py --compare``, via :func:`compare`) checks only the
+host-independent *shape*: tokens never slower than the checked path,
+bulk clearly cheaper than per-access, and the resident walk at least
+``WALK_FLOOR`` times faster with the hot path on.
+
+Timing uses the ``repro.bench.carrier`` discipline: collector off,
+best-of-three batches over a wall-time floor.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # re-record
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out X.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.carrier import seconds_per_call
+from repro.bench.harness import CALLEE, make_world
+from repro.memory.accessor import Mem
+from repro.memory.address_space import AddressSpace
+from repro.simnet.clock import SimClock
+from repro.workloads.linked_list import build_list, list_client
+from repro.xdr.arch import SPARC32
+from repro.xdr.types import int32
+
+HERE = Path(__file__).resolve().parent
+HOTPATH_BASELINE = HERE / "BENCH_hotpath.json"
+
+LIST_NODES = 4096
+
+#: Accesses per timed batch in the per-access microbenchmark: one
+#: page's worth of consecutive 4-byte slots.
+MICRO_ACCESSES = 256
+
+#: Host-independent gate floors (see :func:`compare`).
+BULK_VS_CHECKED = 0.5
+WALK_FLOOR = 1.5
+
+#: The pre-change reference: the same resident walk, same timing
+#: discipline, at the commit before the token/bulk work, on the host
+#: in the committed meta block.  The in-tree ``use_tokens`` knob
+#: cannot reproduce this number — even with tokens off, the ported
+#: workloads keep their coalesced access runs — so the full
+#: before/after ratio is recorded here rather than re-measured.
+PRE_CHANGE_REFERENCE = {
+    "commit": "475497f",
+    "resident_walk_ms": 21.866,
+    "first_call_ms": 138.0,
+}
+
+
+def cpu_model() -> str:
+    """The host CPU model string (best effort, never raises)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def host_meta() -> Dict[str, str]:
+    """Interpreter + CPU identification for a BENCH meta block."""
+    return {
+        "interpreter": "%s %s" % (
+            platform.python_implementation(), platform.python_version()
+        ),
+        "cpu": cpu_model(),
+    }
+
+
+def per_access_ns() -> Dict[str, float]:
+    """Nanoseconds per resident access on each access plane."""
+    offsets = range(0, MICRO_ACCESSES * 4, 4)
+    results: Dict[str, float] = {}
+    for label, use_tokens in (("checked", False), ("tokenized", True)):
+        space = AddressSpace("H")
+        mem = Mem(space, clock=SimClock(), use_tokens=use_tokens)
+        base = space.map_region(1)
+        load = mem.load
+
+        def batch() -> None:
+            for offset in offsets:
+                load(base + offset, 4)
+
+        results[label] = seconds_per_call(batch) * 1e9 / MICRO_ACCESSES
+    space = AddressSpace("H")
+    mem = Mem(space, clock=SimClock())
+    base = space.map_region(1)
+
+    def bulk_batch() -> None:
+        mem.load_array(base, int32, MICRO_ACCESSES, SPARC32)
+
+    results["bulk_amortized"] = (
+        seconds_per_call(bulk_batch) * 1e9 / MICRO_ACCESSES
+    )
+    return {label: round(value, 2) for label, value in results.items()}
+
+
+def _one_walk_world():
+    """(first call s, hot walk s, checked walk s) from one world."""
+    with make_world("paper", transport="simnet") as world:
+        head = build_list(world.caller, list(range(LIST_NODES)))
+        stub = list_client(world.caller, CALLEE)
+        with world.caller.session() as session:
+            started = time.perf_counter()
+            result = stub.total(session, head)
+            first = time.perf_counter() - started
+            assert result == sum(range(LIST_NODES))
+            hot = seconds_per_call(lambda: stub.total(session, head))
+            for runtime in (world.caller, world.callee):
+                runtime.mem.use_tokens = False
+            checked = seconds_per_call(lambda: stub.total(session, head))
+    return first, hot, checked
+
+
+def resident_walk_ms() -> Dict[str, float]:
+    """Wall ms of ``total`` over the 4096-node list, warm session.
+
+    Best of three fresh worlds per figure: host noise (scheduler,
+    collector, neighbours) spans whole batches, so the minimum is the
+    least-contaminated estimate of each path's cost.
+    """
+    rounds = [_one_walk_world() for _ in range(3)]
+    first = min(r[0] for r in rounds)
+    hot = min(r[1] for r in rounds)
+    checked = min(r[2] for r in rounds)
+    return {
+        "first_call_ms": round(first * 1e3, 3),
+        "hotpath_ms": round(hot * 1e3, 3),
+        "checked_ms": round(checked * 1e3, 3),
+        "speedup_checked_over_hotpath": round(checked / hot, 2),
+        "pre_change_reference": dict(PRE_CHANGE_REFERENCE),
+        "speedup_vs_pre_change": round(
+            PRE_CHANGE_REFERENCE["resident_walk_ms"] / (hot * 1e3), 2
+        ),
+    }
+
+
+def record_hotpath() -> Dict:
+    """One full measurement pass: the BENCH_hotpath.json payload."""
+    meta = {"transport": "simnet", **host_meta()}
+    return {
+        "meta": meta,
+        "per_access_ns": per_access_ns(),
+        "linked_list_4096_total": resident_walk_ms(),
+    }
+
+
+def compare(baseline: Dict, current: Dict, label: str) -> List[str]:
+    """Host-independent regressions of ``current`` (empty = pass).
+
+    Absolute nanoseconds differ across hosts; what must hold anywhere
+    is the ordering the optimisation exists to produce.
+    """
+    problems = []
+    access = current.get("per_access_ns", {})
+    walk = current.get("linked_list_4096_total", {})
+    for field, record in (("per_access_ns", access),
+                          ("linked_list_4096_total", walk)):
+        missing = set(baseline.get(field, {})) - set(record)
+        if missing:
+            problems.append(
+                f"{label}: {field} lost fields {sorted(missing)}"
+            )
+    if not problems:
+        if access["tokenized"] > access["checked"]:
+            problems.append(
+                f"{label}: tokenized access "
+                f"({access['tokenized']} ns) slower than checked "
+                f"({access['checked']} ns)"
+            )
+        if access["bulk_amortized"] > access["checked"] * BULK_VS_CHECKED:
+            problems.append(
+                f"{label}: bulk access ({access['bulk_amortized']} ns) "
+                f"not under {BULK_VS_CHECKED:.0%} of checked "
+                f"({access['checked']} ns)"
+            )
+        if walk["speedup_checked_over_hotpath"] < WALK_FLOOR:
+            problems.append(
+                f"{label}: resident walk speedup "
+                f"{walk['speedup_checked_over_hotpath']}x under the "
+                f"{WALK_FLOOR}x floor"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=HOTPATH_BASELINE,
+        help="where to write the JSON record "
+        "(default: the committed baseline)",
+    )
+    args = parser.parse_args(argv)
+    current = record_hotpath()
+    args.out.write_text(json.dumps(current, indent=2) + "\n")
+    access = current["per_access_ns"]
+    walk = current["linked_list_4096_total"]
+    print(f"wrote {args.out.name}")
+    print(
+        "  per-access ns: checked %.1f, tokenized %.1f, "
+        "bulk %.1f" % (
+            access["checked"], access["tokenized"],
+            access["bulk_amortized"],
+        )
+    )
+    print(
+        "  linked_list_4096_total resident walk: hotpath %.2f ms, "
+        "checked %.2f ms (%.2fx), first call %.1f ms" % (
+            walk["hotpath_ms"], walk["checked_ms"],
+            walk["speedup_checked_over_hotpath"], walk["first_call_ms"],
+        )
+    )
+    print(
+        "  vs pre-change commit %s: %.2fx" % (
+            walk["pre_change_reference"]["commit"],
+            walk["speedup_vs_pre_change"],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

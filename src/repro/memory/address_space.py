@@ -46,6 +46,14 @@ class AddressSpace:
         self._pages: Dict[int, Page] = {}
         self._next_page = max(1, REGION_BASE // page_size)
         self._fault_handler: Optional[FaultHandler] = None
+        #: Mapping/protection generation.  Bumped whenever the page
+        #: table changes shape (:meth:`map_region`, :meth:`unmap_page`)
+        #: or protection (:meth:`protect`).  :class:`repro.memory
+        #: .accessor.Mem` compares it to discard stale page access
+        #: tokens, so a coherency-driven protection flip is never
+        #: missed by the token fast path.  Read-only to callers.
+        self.generation = 0
+        self._mapped_cache: Optional[List[int]] = None
 
     # -- mapping -----------------------------------------------------------
 
@@ -62,6 +70,8 @@ class AddressSpace:
             number = base_page + offset
             self._pages[number] = Page(number, self.page_size, protection)
         self._next_page += num_pages
+        self.generation += 1
+        self._mapped_cache = None
         return base_page * self.page_size
 
     def unmap_page(self, page_number: int) -> None:
@@ -71,6 +81,8 @@ class AddressSpace:
                 self.space_id, page_number * self.page_size, FaultKind.READ
             )
         del self._pages[page_number]
+        self.generation += 1
+        self._mapped_cache = None
 
     def is_mapped(self, address: int) -> bool:
         """Whether ``address`` falls on a mapped page."""
@@ -89,16 +101,30 @@ class AddressSpace:
                 self.space_id, page_number * self.page_size, FaultKind.READ
             ) from None
 
+    def page_if_mapped(self, page_number: int) -> Optional[Page]:
+        """The page, or ``None`` when unmapped (no fault raised)."""
+        return self._pages.get(page_number)
+
     @property
     def mapped_pages(self) -> List[int]:
-        """Sorted numbers of all mapped pages."""
-        return sorted(self._pages)
+        """Sorted numbers of all mapped pages.
+
+        The sorted list is cached and invalidated on map/unmap, so
+        per-sweep callers (``validate.py``, write-back) do not re-sort
+        the whole page dict on every call.  A fresh copy is returned
+        each time; callers may mutate it freely.
+        """
+        cached = self._mapped_cache
+        if cached is None:
+            cached = self._mapped_cache = sorted(self._pages)
+        return list(cached)
 
     # -- protection (the mprotect interface) --------------------------------
 
     def protect(self, page_number: int, protection: Protection) -> None:
         """Change one page's protection."""
         self.page(page_number).protection = protection
+        self.generation += 1
 
     def protection_of(self, page_number: int) -> Protection:
         """Current protection of one page."""

@@ -78,6 +78,24 @@ class SimClock:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
         self._now += seconds
 
+    def bill(self, seconds: float, count: int) -> None:
+        """Advance by ``seconds``, ``count`` times over.
+
+        Exactly equivalent to calling :meth:`advance` ``count`` times:
+        the float accumulation order is preserved, so a bulk access
+        run charges byte-identical simulated time to the per-access
+        loop it replaces (``count * seconds`` in one add would round
+        differently).
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        if count < 0:
+            raise ValueError(f"cannot bill {count!r} charges")
+        now = self._now
+        for _ in range(count):
+            now += seconds
+        self._now = now
+
     def reset(self) -> None:
         """Rewind to time zero (used between benchmark repetitions)."""
         self._now = 0.0

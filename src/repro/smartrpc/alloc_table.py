@@ -140,6 +140,32 @@ class DataAllocationTable:
         entry = self._by_address[self._sorted_addresses[index - 1]]
         return entry if entry.contains(local_address) else None
 
+    def entries_overlapping(self, address: int, size: int) -> List[AllocEntry]:
+        """Rows whose placeholders intersect ``[address, address+size)``.
+
+        The bulk access path's lookup: one coalesced observer callback
+        covers a whole run, and every entry the run crossed must be
+        scored touched.  ``size <= 0`` degrades to the single-address
+        :meth:`entry_containing` semantics.
+        """
+        if size <= 0:
+            entry = self.entry_containing(address)
+            return [entry] if entry is not None else []
+        out: List[AllocEntry] = []
+        index = bisect.bisect_right(self._sorted_addresses, address)
+        if index:
+            entry = self._by_address[self._sorted_addresses[index - 1]]
+            if entry.contains(address):
+                out.append(entry)
+        end = address + size
+        while index < len(self._sorted_addresses):
+            start = self._sorted_addresses[index]
+            if start >= end:
+                break
+            out.append(self._by_address[start])
+            index += 1
+        return out
+
     def entries_on_page(self, page_number: int) -> List[AllocEntry]:
         """All rows on one cache page."""
         page = self._by_page.get(page_number)

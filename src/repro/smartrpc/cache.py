@@ -92,6 +92,12 @@ class CacheManager:
         # (allocation class, home) — home collapses to "" under MIXED.
         self._open_pages: Dict[Tuple[str, str], PageState] = {}
         self.dirty_pages: Set[int] = set()
+        # Shipped entries the program has not yet touched.  The access
+        # observer fires on every program access; once everything
+        # shipped has been scored touched, the counter reaching zero
+        # lets :meth:`note_touch_range` return without a table lookup —
+        # the steady-state fast path.
+        self._untouched_shipped = 0
 
     # -- small accessors ------------------------------------------------------
 
@@ -370,6 +376,8 @@ class CacheManager:
         the eager-closure gamble the adaptive policy's feedback loop
         scores against :meth:`note_touch`.
         """
+        if not entry.shipped and not entry.touched:
+            self._untouched_shipped += 1
         entry.shipped = True
         entry.prefetched = prefetched
         self.state.transfer_stats.record_shipped(entry.size, prefetched)
@@ -389,16 +397,29 @@ class CacheManager:
 
     def note_touch(self, address: int) -> None:
         """Record the program's first access to a shipped entry."""
-        entry = self.table.entry_containing(address)
-        if entry is None or not entry.shipped or entry.touched:
+        self.note_touch_range(address, 1)
+
+    def note_touch_range(self, address: int, size: int) -> None:
+        """Score a program access run touching ``size`` bytes at ``address``.
+
+        The bulk access path's coalesced observer callback: every
+        shipped entry the run overlaps is scored touched, exactly as
+        the per-access loop would have scored them one by one.  Once
+        nothing shipped remains untouched this is a constant-time
+        no-op, which is what keeps the steady-state access fast path
+        cheap.
+        """
+        if not self._untouched_shipped:
             return
-        entry.touched = True
-        self.state.transfer_stats.record_touched(
-            entry.size, entry.prefetched
-        )
-        self.runtime.stats.transfer_ledger.record_touched(
-            entry.size, entry.prefetched
-        )
+        transfer_stats = self.state.transfer_stats
+        ledger = self.runtime.stats.transfer_ledger
+        for entry in self.table.entries_overlapping(address, size):
+            if not entry.shipped or entry.touched:
+                continue
+            entry.touched = True
+            self._untouched_shipped -= 1
+            transfer_stats.record_touched(entry.size, entry.prefetched)
+            ledger.record_touched(entry.size, entry.prefetched)
 
     # -- residency and dirtiness ----------------------------------------------
 
@@ -464,6 +485,8 @@ class CacheManager:
         The cache area is session-scoped, so placeholder space is not
         recycled — it all disappears at invalidation.
         """
+        if entry.shipped and not entry.touched:
+            self._untouched_shipped -= 1
         self.table.remove(entry)
         for number in self._entry_pages(entry):
             page = self._pages[number]
@@ -480,6 +503,7 @@ class CacheManager:
         self._pages.clear()
         self._open_pages.clear()
         self.dirty_pages.clear()
+        self._untouched_shipped = 0
         self.table = DataAllocationTable()
         self.runtime.stats.invalidations += 1
 

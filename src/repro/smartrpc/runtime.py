@@ -296,9 +296,25 @@ class SmartRpcRuntime(RpcRuntime):
     ) -> None:
         # The Mem observer: the program plane touched local memory.
         # Only cache pages matter for shipped-vs-touched accounting.
-        cache = self._page_cache.get(address // self.space.page_size)
-        if cache is not None:
-            cache.note_touch(address)
+        # Bulk runs arrive as one coalesced callback covering the whole
+        # byte range; every overlapping entry is scored.
+        page_size = self.space.page_size
+        first = address // page_size
+        last = (address + size - 1) // page_size if size > 1 else first
+        if first == last:
+            cache = self._page_cache.get(first)
+            if cache is not None:
+                cache.note_touch_range(address, size)
+            return
+        cursor = address
+        remaining = size
+        for number in range(first, last + 1):
+            chunk = min(remaining, (number + 1) * page_size - cursor)
+            cache = self._page_cache.get(number)
+            if cache is not None:
+                cache.note_touch_range(cursor, chunk)
+            cursor += chunk
+            remaining -= chunk
 
     # -- session plumbing -----------------------------------------------------
 

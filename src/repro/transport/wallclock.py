@@ -35,6 +35,22 @@ class WallClock:
             raise ValueError(f"cannot advance clock by {seconds!r} seconds")
         self.charged += seconds
 
+    def bill(self, seconds: float, count: int) -> None:
+        """Account ``count`` equal modelled charges.
+
+        Mirrors :meth:`repro.simnet.clock.SimClock.bill`: the float
+        accumulation order matches ``count`` separate :meth:`advance`
+        calls so modelled-charge totals stay comparable.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r} seconds")
+        if count < 0:
+            raise ValueError(f"cannot bill {count!r} charges")
+        charged = self.charged
+        for _ in range(count):
+            charged += seconds
+        self.charged = charged
+
     def reset(self) -> None:
         """Zero the accumulated modelled charges."""
         self.charged = 0.0

@@ -138,6 +138,10 @@ HASH_OPS = InterfaceDef(
 
 
 def _chain_lookup(ctx: CallContext, table: int, key: int) -> Optional[bytes]:
+    # Stays on per-field access (no ``get_run``): which members are
+    # read depends on the key comparison — a miss reads ``key`` and
+    # ``next``, a hit reads ``key`` and ``value`` — so a fixed bulk run
+    # would charge accesses the conditional walk never performs.
     table_spec = ctx.runtime.resolver.resolve(HASH_TABLE_TYPE_ID)
     node_spec = ctx.runtime.resolver.resolve(HASH_NODE_TYPE_ID)
     view = ctx.struct_view(table, table_spec)

@@ -87,9 +87,13 @@ def _visit(
             view.set("data", value.to_bytes(8, "big"))
         visited += 1
         ctx.runtime.clock.advance(ctx.runtime.cost_model.visit_compute)
-        # Visit left before right: push right first.
-        stack.append(view.get("right"))
-        stack.append(view.get("left"))
+        # Visit left before right: push right first.  Both child
+        # pointers come back in one bulk access run — the page is
+        # already resident after the ``data`` read above, so the run
+        # never moves a fault, only the per-field checks.
+        right, left = view.get_run("right", "left")
+        stack.append(right)
+        stack.append(left)
     return checksum
 
 
@@ -131,8 +135,7 @@ def path_search(ctx: CallContext, root: int, repeats: int, seed: int) -> int:
             view = ctx.struct_view(address, spec)
             checksum += int.from_bytes(view.get("data"), "big")
             ctx.runtime.clock.advance(ctx.runtime.cost_model.visit_compute)
-            left = view.get("left")
-            right = view.get("right")
+            left, right = view.get_run("left", "right")
             address = left if rng.random() < 0.5 else right
     return checksum
 

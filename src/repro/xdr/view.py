@@ -10,7 +10,9 @@ to the workload, which is the paper's headline property.
 
 from __future__ import annotations
 
-from typing import Union
+import operator
+import struct
+from typing import Dict, Tuple, Union
 
 from repro.memory.accessor import Mem
 from repro.xdr.arch import Architecture
@@ -26,6 +28,135 @@ from repro.xdr.types import (
 )
 
 FieldValue = Union[int, float, bytes]
+
+
+class RunPlan:
+    """A compiled bulk-read plan for a run of struct members.
+
+    One checked access covers the byte span ``[start, start + span)``
+    relative to the struct base; :meth:`unpack` decodes the named
+    members out of the blob with one precompiled :class:`struct.Struct`
+    call.  ``accesses`` is the modelled access count the run replaces
+    (one per member; one per element for array members), which the
+    accessor charges so simulated time stays identical to a per-field
+    loop.
+    """
+
+    __slots__ = ("start", "span", "accesses", "_struct", "_order")
+
+    def __init__(
+        self,
+        start: int,
+        span: int,
+        accesses: int,
+        codec: struct.Struct,
+        order: Tuple[int, ...],
+    ) -> None:
+        self.start = start
+        self.span = span
+        self.accesses = accesses
+        self._struct = codec
+        if order == tuple(range(len(order))):
+            self._order = None
+        elif len(order) == 1:
+            index = order[0]
+            self._order = lambda values: (values[index],)
+        else:
+            # itemgetter with several indices returns a tuple at C speed.
+            self._order = operator.itemgetter(*order)
+
+    def unpack(self, blob: bytes) -> tuple:
+        """Decode the run's values (``names`` order, arrays flattened)."""
+        values = self._struct.unpack(blob)
+        if self._order is None:
+            return values
+        return self._order(values)
+
+
+def _field_codes(spec: TypeSpec, arch: Architecture) -> Tuple[str, int, int, int]:
+    """(struct codes, in-memory size, value count, access count)."""
+    if isinstance(spec, ScalarType):
+        return spec.kind.struct_code, spec.kind.size, 1, 1
+    if isinstance(spec, PointerType):
+        code = {4: "I", 8: "Q"}.get(arch.pointer_size)
+        if code is None:
+            raise XdrError(
+                f"no run codec for {arch.pointer_size}-byte pointers"
+            )
+        return code, arch.pointer_size, 1, 1
+    if isinstance(spec, OpaqueType):
+        return f"{spec.length}s", spec.length, 1, 1
+    if isinstance(spec, EnumType):
+        return "i", 4, 1, 1
+    if isinstance(spec, ArrayType):
+        codes, size, nvalues, accesses = _field_codes(spec.element, arch)
+        if nvalues != 1 or size != spec.stride(arch):
+            raise XdrError(
+                f"array of {spec.element!r} cannot join an access run"
+            )
+        return codes * spec.count, size * spec.count, spec.count, accesses * spec.count
+    raise XdrError(f"cannot load field of type {spec!r} in an access run")
+
+
+def compile_run_plan(
+    spec: StructType, arch: Architecture, names: Tuple[str, ...]
+) -> RunPlan:
+    """The (memoised) bulk-read plan for ``names`` of ``spec``.
+
+    Plans are cached on the struct spec itself, keyed by architecture
+    and name tuple, so hot traversal loops compile each run once.
+    """
+    cache: Dict[Tuple[str, Tuple[str, ...]], RunPlan]
+    cache = getattr(spec, "_run_plans", None)
+    if cache is None:
+        cache = {}
+        spec._run_plans = cache  # type: ignore[attr-defined]
+    key = (arch.name, names)
+    plan = cache.get(key)
+    if plan is None:
+        plan = _compile_run_plan(spec, arch, names)
+        cache[key] = plan
+    return plan
+
+
+def _compile_run_plan(
+    spec: StructType, arch: Architecture, names: Tuple[str, ...]
+) -> RunPlan:
+    if not names:
+        raise XdrError("an access run needs at least one field")
+    layout = spec.layout(arch)
+    items = []
+    for name in names:
+        field = spec.field(name)
+        codes, size, nvalues, accesses = _field_codes(field.spec, arch)
+        items.append((layout.offsets[name], size, codes, nvalues, accesses, name))
+    items.sort()
+    start = items[0][0]
+    fmt = ">" if arch.byteorder == "big" else "<"
+    cursor = start
+    accesses_total = 0
+    positions: Dict[str, Tuple[int, int]] = {}
+    index = 0
+    for offset, size, codes, nvalues, accesses, name in items:
+        if offset < cursor:
+            raise XdrError(
+                f"fields of {spec.name!r} overlap in access run {names!r}"
+            )
+        if offset > cursor:
+            fmt += f"{offset - cursor}x"
+        fmt += codes
+        positions[name] = (index, nvalues)
+        index += nvalues
+        cursor = offset + size
+        accesses_total += accesses
+    order = []
+    for name in names:
+        first, nvalues = positions[name]
+        order.extend(range(first, first + nvalues))
+    return RunPlan(
+        start, cursor - start, accesses_total,
+        struct.Struct(fmt), tuple(order),
+    )
 
 
 class StructView:
@@ -69,6 +200,23 @@ class StructView:
         return self._load(
             self.field_address(name) + index * stride, field.spec.element
         )
+
+    def get_run(self, *names: str) -> tuple:
+        """Load several members with one checked access run.
+
+        The named members' contiguous byte span (padding included) is
+        read in a single :meth:`Mem.load_run`, so the protection check
+        and fault retry are paid once per struct instead of once per
+        field; the clock is still charged once per member (per element
+        for array members) and the observer sees one coalesced
+        callback.  Values come back in argument order, array members
+        flattened into individual elements.
+        """
+        plan = compile_run_plan(self.spec, self.arch, names)
+        blob = self.mem.load_run(
+            self.address + plan.start, plan.span, plan.accesses
+        )
+        return plan.unpack(blob)
 
     def view(self, name: str, spec: StructType) -> "StructView":
         """Follow a pointer member to a struct of type ``spec``."""

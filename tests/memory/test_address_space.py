@@ -140,3 +140,54 @@ class TestProtection:
         pages = space.mapped_pages
         assert pages == sorted(pages)
         assert len(pages) == 3
+
+
+class TestGenerationAndPageCache:
+    """The invalidation contract the accessor's tokens rely on."""
+
+    def test_map_bumps_generation(self, space):
+        before = space.generation
+        space.map_region(1)
+        assert space.generation > before
+
+    def test_protect_bumps_generation(self, space):
+        base = space.map_region(1)
+        before = space.generation
+        space.protect(space.page_number(base), Protection.READ)
+        assert space.generation > before
+
+    def test_unmap_bumps_generation(self, space):
+        base = space.map_region(1)
+        before = space.generation
+        space.unmap_page(space.page_number(base))
+        assert space.generation > before
+
+    def test_reads_do_not_bump_generation(self, space):
+        base = space.map_region(1)
+        before = space.generation
+        space.read(base, 4)
+        space.write(base, b"x")
+        space.read_raw(base, 4)
+        assert space.generation == before
+
+    def test_mapped_pages_cache_tracks_map_and_unmap(self, space):
+        base = space.map_region(2)
+        first = space.page_number(base)
+        assert space.mapped_pages == [first, first + 1]
+        assert space.mapped_pages == [first, first + 1]  # cached hit
+        space.unmap_page(first)
+        assert space.mapped_pages == [first + 1]
+        space.map_region(1)
+        assert len(space.mapped_pages) == 2
+
+    def test_mapped_pages_returns_fresh_list(self, space):
+        space.map_region(1)
+        pages = space.mapped_pages
+        pages.append(-1)  # caller mutation must not poison the cache
+        assert -1 not in space.mapped_pages
+
+    def test_page_if_mapped(self, space):
+        base = space.map_region(1)
+        number = space.page_number(base)
+        assert space.page_if_mapped(number) is not None
+        assert space.page_if_mapped(number + 7) is None

@@ -1,0 +1,158 @@
+"""Properties of the page-access-token fast path.
+
+Two obligations:
+
+* **Freshness.** A cached token must never let the program observe
+  pre-invalidation protection or post-invalidation bytes: any
+  interleaving of checked reads/writes, bulk runs, raw-plane writes,
+  ``protect`` flips and ``unmap_page`` calls must behave exactly like
+  a shadow model that re-checks everything on every access.
+* **Coherency silence.** Sessions that interleave bulk-read calls
+  (``total``, one access run per node) with writing calls (``scale``)
+  must stay free of coherency-sanitizer diagnostics and return the
+  same values the checked path returns — the token path cannot hide
+  an invalidation from the protocol.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diagnostics import DiagnosticCollector
+from repro.analysis.sanitizer import check_events
+from repro.bench.harness import CALLEE, SIMNET, make_world
+from repro.memory.accessor import Mem
+from repro.memory.address_space import AddressSpace
+from repro.memory.faults import AccessViolation
+from repro.memory.page import Protection
+from repro.workloads.linked_list import build_list, list_client
+
+NUM_PAGES = 3
+
+#: One interleaved step: (op, page index, offset, size-ish payload).
+ops = st.sampled_from(["load", "load_run", "store", "raw_write",
+                       "protect_ro", "protect_rw", "unmap", "remap"])
+steps = st.lists(
+    st.tuples(
+        ops,
+        st.integers(min_value=0, max_value=NUM_PAGES - 1),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=1, max_value=16),
+    ),
+    max_size=40,
+)
+
+
+class Shadow:
+    """A re-check-everything model of the same address space."""
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        self.pages = {}  # number -> (bytearray, Protection)
+
+    def read(self, number: int, offset: int, size: int):
+        entry = self.pages.get(number)
+        if entry is None or not entry[1].allows_read():
+            return None  # access must not succeed
+        return bytes(entry[0][offset:offset + size])
+
+    def write(self, number: int, offset: int, data: bytes) -> bool:
+        entry = self.pages.get(number)
+        if entry is None or not entry[1].allows_write():
+            return False
+        entry[0][offset:offset + len(data)] = data
+        return True
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps, st.randoms(use_true_random=False))
+def test_tokens_always_match_a_recheck_model(trace, rng):
+    space = AddressSpace("P")
+    mem = Mem(space)
+    shadow = Shadow(space.page_size)
+    base = space.map_region(NUM_PAGES)
+    first = space.page_number(base)
+    numbers = list(range(first, first + NUM_PAGES))
+    for number in numbers:
+        shadow.pages[number] = (
+            bytearray(space.page_size), Protection.READ_WRITE
+        )
+    for op, index, offset, size in trace:
+        number = numbers[index]
+        address = number * space.page_size + offset
+        mapped = shadow.pages.get(number)
+        if op in ("load", "load_run"):
+            expected = shadow.read(number, offset, size)
+            if expected is None:
+                with pytest.raises(Exception):
+                    mem.load(address, size)
+            elif op == "load":
+                assert mem.load(address, size) == expected
+            else:
+                assert mem.load_run(address, size, accesses=size) == expected
+        elif op == "store":
+            payload = bytes(rng.randrange(256) for _ in range(size))
+            if shadow.write(number, offset, payload):
+                mem.store(address, payload)
+            else:
+                with pytest.raises(Exception):
+                    mem.store(address, payload)
+        elif op == "raw_write":
+            # The raw plane ignores protection but needs the mapping.
+            if mapped is not None:
+                payload = bytes(rng.randrange(256) for _ in range(size))
+                space.write_raw(address, payload)
+                mapped[0][offset:offset + size] = payload
+        elif op == "protect_ro" and mapped is not None:
+            space.protect(number, Protection.READ)
+            shadow.pages[number] = (mapped[0], Protection.READ)
+        elif op == "protect_rw" and mapped is not None:
+            space.protect(number, Protection.READ_WRITE)
+            shadow.pages[number] = (mapped[0], Protection.READ_WRITE)
+        elif op == "unmap" and mapped is not None:
+            space.unmap_page(number)
+            del shadow.pages[number]
+        elif op == "remap" and mapped is None:
+            # Spaces never re-map a vacated number; a fresh region
+            # takes over the slot (still bumps the generation, which
+            # is the invalidation being exercised).
+            fresh = space.map_region(1)
+            numbers[index] = space.page_number(fresh)
+            shadow.pages[numbers[index]] = (
+                bytearray(space.page_size), Protection.READ_WRITE
+            )
+
+
+def sanitize(events):
+    collector = DiagnosticCollector()
+    check_events(events, collector)
+    return sorted(d.code for d in collector)
+
+
+class TestBulkReadersStayCoherent:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=48),
+        st.lists(st.sampled_from(["total", "scale"]),
+                 min_size=2, max_size=5),
+        st.sampled_from(["proposed", "lazy", "adaptive"]),
+    )
+    def test_interleaved_bulk_reads_and_writes(
+        self, nodes, calls, method
+    ):
+        values = list(range(nodes))
+        with make_world(method, transport=SIMNET, trace=True) as world:
+            head = build_list(world.caller, values)
+            stub = list_client(world.caller, CALLEE)
+            factor = 1
+            with world.caller.session() as session:
+                for call in calls:
+                    if call == "total":
+                        got = stub.total(session, head)
+                        assert got == factor * sum(values)
+                    else:
+                        assert stub.scale(session, head, 2) == nodes
+                        factor *= 2
+            events = list(world.stats.events)
+        assert events, "tracing was enabled but recorded nothing"
+        assert sanitize(events) == []

@@ -120,3 +120,75 @@ class TestPointerChasing:
         view.set("next", 0)
         with pytest.raises(XdrError):
             view.view("next", SPEC)
+
+
+class TestGetRun:
+    """Bulk access runs must decode exactly what per-field gets do."""
+
+    def _fill(self, view):
+        view.set("count", -7)
+        view.set("ratio", 0.125)
+        view.set("label", b"abcd")
+        view.set("next", 0xCAFE)
+        for index, value in enumerate((10, 20, 30)):
+            base = view.field_address("slots")
+            stride = SPEC.field("slots").spec.stride(view.arch)
+            view.mem.store(
+                base + index * stride,
+                value.to_bytes(4, view.arch.byteorder, signed=True),
+            )
+
+    def test_run_matches_per_field_gets(self, view):
+        self._fill(view)
+        run = view.get_run("count", "ratio", "label", "next")
+        assert run == (
+            view.get("count"),
+            view.get("ratio"),
+            view.get("label"),
+            view.get("next"),
+        )
+
+    def test_run_spanning_padding_gap(self, view):
+        # count sits at offset 0; ratio is 8-aligned, so the run
+        # crosses the alignment gap between them.
+        self._fill(view)
+        assert view.get_run("count", "ratio") == (-7, 0.125)
+
+    def test_run_returns_argument_order(self, view):
+        self._fill(view)
+        assert view.get_run("next", "count") == (0xCAFE, -7)
+
+    def test_run_flattens_array_members(self, view):
+        self._fill(view)
+        assert view.get_run("slots") == (10, 20, 30)
+        assert view.get_run("count", "slots") == (-7, 10, 20, 30)
+
+    def test_run_with_enum_member(self):
+        from repro.xdr.types import EnumType
+
+        spec = StructType("flagged", [
+            Field("state", EnumType("state", {"OFF": 0, "ON": 1})),
+            Field("value", int32),
+        ])
+        space = AddressSpace("E")
+        mem = Mem(space)
+        address = space.map_region(1)
+        view = StructView(mem, address, spec, SPARC32)
+        view.set("state", "ON")
+        view.set("value", 5)
+        assert view.get_run("state", "value") == (1, 5)
+
+    def test_duplicate_member_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.get_run("count", "count")
+
+    def test_empty_run_rejected(self, view):
+        with pytest.raises(XdrError):
+            view.get_run()
+
+    def test_plans_memoised_per_arch_and_names(self, view):
+        from repro.xdr.view import compile_run_plan
+
+        first = compile_run_plan(SPEC, view.arch, ("count", "ratio"))
+        again = compile_run_plan(SPEC, view.arch, ("count", "ratio"))
+        assert first is again
